@@ -1,0 +1,118 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section on the generated benchmarks:
+//
+//	experiments -exp table1     # Table 1: value matching effectiveness
+//	experiments -exp em         # §3.2: downstream entity matching
+//	experiments -exp figure3    # Figure 3: runtime, ALITE vs Fuzzy FD
+//	experiments -exp theta      # ablation: threshold sweep (θ=0.7 best)
+//	experiments -exp all        # everything (default)
+//
+// All runs are seeded (-seed) and deterministic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"fuzzyfd/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	var (
+		exp      = flag.String("exp", "all", "experiment: table1|em|figure3|theta|lexicon|baselines|all")
+		seed     = flag.Int64("seed", 42, "benchmark generator seed")
+		sets     = flag.Int("sets", 31, "Auto-Join integration sets")
+		values   = flag.Int("values", 150, "values per column in Auto-Join sets")
+		entities = flag.Int("entities", 150, "entities in the EM benchmark")
+		sizes    = flag.String("sizes", "5000,10000,15000,20000,25000,30000", "Figure 3 input-tuple sizes")
+		theta    = flag.Float64("theta", 0.7, "matching threshold")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Seed:            *seed,
+		Sets:            *sets,
+		ValuesPerColumn: *values,
+		Entities:        *entities,
+		Theta:           *theta,
+	}
+	for _, s := range strings.Split(*sizes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			log.Fatalf("bad -sizes entry %q: %v", s, err)
+		}
+		cfg.Sizes = append(cfg.Sizes, n)
+	}
+
+	run := func(name string) {
+		switch name {
+		case "table1":
+			fmt.Printf("Table 1: value matching effectiveness (Auto-Join benchmark, %d sets, θ=%.2f)\n\n", cfg.Sets, *theta)
+			rows, err := experiments.Table1(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			experiments.FprintTable1(os.Stdout, rows)
+		case "em":
+			fmt.Printf("Downstream entity matching (EM benchmark, %d entities, θ=%.2f)\n\n", cfg.Entities, *theta)
+			res, err := experiments.DownstreamEM(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			experiments.FprintEM(os.Stdout, res)
+		case "figure3":
+			fmt.Printf("Figure 3: runtime, regular FD (ALITE) vs Fuzzy FD (IMDB benchmark)\n\n")
+			points, err := experiments.Figure3(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			experiments.FprintFigure3(os.Stdout, points)
+		case "theta":
+			fmt.Printf("Ablation: matching threshold sweep (Mistral, Auto-Join benchmark)\n\n")
+			rows, err := experiments.ThetaSweep(cfg, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			experiments.FprintThetaSweep(os.Stdout, rows)
+		case "lexicon":
+			fmt.Printf("Ablation: entity-knowledge share sweep (finetuning stand-in, Auto-Join benchmark)\n\n")
+			rows, err := experiments.LexiconSweep(cfg, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			experiments.FprintLexiconSweep(os.Stdout, rows)
+		case "baselines":
+			fmt.Printf("Related-work matching baselines (Auto-Join benchmark, %d sets)\n\n", cfg.Sets)
+			rows, err := experiments.Baselines(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			experiments.FprintBaselines(os.Stdout, rows)
+		case "operators":
+			fmt.Printf("Integration operators (EM benchmark, %d entities) — the paper's motivation\n\n", cfg.Entities)
+			rows, err := experiments.Operators(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			experiments.FprintOperators(os.Stdout, rows)
+		default:
+			log.Fatalf("unknown experiment %q (want table1|em|figure3|theta|lexicon|baselines|operators|all)", name)
+		}
+		fmt.Println()
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"table1", "em", "figure3", "theta", "lexicon", "baselines", "operators"} {
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}

@@ -1,0 +1,77 @@
+// Auto-Join example: generate one fuzzy-joinable integration set (the
+// workload behind the paper's Table 1), run the value-matching component
+// with two embedding models, and compare their precision/recall/F1 against
+// the gold matching. The weak tier (FastText) misses the synonym and
+// abbreviation matches the strong tier (Mistral) resolves.
+//
+// Run with: go run ./examples/autojoin
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fuzzyfd"
+	"fuzzyfd/internal/datagen"
+	"fuzzyfd/internal/match"
+	"fuzzyfd/internal/metrics"
+)
+
+func main() {
+	sets := datagen.AutoJoin(datagen.AutoJoinConfig{Seed: 7, Sets: 4, ValuesPerColumn: 60})
+	set := sets[3] // a countries set: lexicon synonyms in play
+	fmt.Printf("integration set %q (topic: %s), %d aligning columns\n",
+		set.Name, set.Topic, len(set.Columns))
+	for ci, col := range set.Columns {
+		fmt.Printf("  column %d: %d values, e.g. %q\n", ci, len(col.Values), col.Values[:3])
+	}
+	fmt.Println()
+
+	for _, model := range []string{fuzzyfd.ModelFastText, fuzzyfd.ModelMistral} {
+		cols := make([][]string, len(set.Columns))
+		for i, c := range set.Columns {
+			cols[i] = c.Values
+		}
+		clusters, err := fuzzyfd.MatchValues(cols, fuzzyfd.WithModel(model))
+		if err != nil {
+			log.Fatal(err)
+		}
+		prf := evaluate(set, clusters)
+		stats := match.Summarize(clusters)
+		fmt.Printf("%-10s %v  (%d clusters, %d merged)\n", model, prf, stats.Clusters, stats.Merged)
+
+		// Show a few non-trivial merges.
+		shown := 0
+		for _, c := range clusters {
+			if len(c.Members) < 2 || allEqual(c) {
+				continue
+			}
+			fmt.Printf("    %q <- %v\n", c.Rep, memberValues(c))
+			if shown++; shown == 4 {
+				break
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func evaluate(set *datagen.IntegrationSet, clusters []fuzzyfd.ValueCluster) metrics.PRF {
+	return set.Evaluate(clusters)
+}
+
+func allEqual(c fuzzyfd.ValueCluster) bool {
+	for _, m := range c.Members {
+		if m.Value != c.Rep {
+			return false
+		}
+	}
+	return true
+}
+
+func memberValues(c fuzzyfd.ValueCluster) []string {
+	out := make([]string, len(c.Members))
+	for i, m := range c.Members {
+		out[i] = m.Value
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+// Entity-matching example (the paper's §3.2 downstream task): integrate
+// the EM benchmark with regular FD and with Fuzzy FD, run entity matching
+// over each integrated table, and compare pairwise precision/recall/F1
+// against the gold entity labels. Fuzzy FD's better integration both
+// removes false positives (complete rows expose conflicting attributes)
+// and recovers true matches (fuzzy variants integrate into single rows).
+//
+// Run with: go run ./examples/entitymatching
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fuzzyfd"
+	"fuzzyfd/internal/datagen"
+	"fuzzyfd/internal/em"
+)
+
+func main() {
+	bench := datagen.EMBench(datagen.EMConfig{Seed: 42, Entities: 120})
+	fmt.Printf("EM benchmark: %d tables, %d labeled tuples\n", len(bench.Tables), len(bench.Gold))
+	for _, t := range bench.Tables {
+		fmt.Printf("  %-12s %4d rows  columns=%v\n", t.Name, t.NumRows(), t.Columns)
+	}
+	fmt.Println()
+
+	for _, equi := range []bool{true, false} {
+		var opts []fuzzyfd.Option
+		name := "Fuzzy FD"
+		if equi {
+			opts = append(opts, fuzzyfd.WithEquiJoin())
+			name = "Regular FD (ALITE)"
+		}
+		res, err := fuzzyfd.Integrate(bench.Tables, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prf := em.Evaluate(res.FDResult(), bench.Gold, em.Options{})
+		fmt.Printf("%-20s integrated to %4d rows; entity matching: %v\n",
+			name, res.Table.NumRows(), prf)
+	}
+}

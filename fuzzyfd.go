@@ -1,0 +1,269 @@
+// Package fuzzyfd integrates sets of data lake tables with Fuzzy Full
+// Disjunction, the algorithm of "Fuzzy Integration of Data Lake Tables"
+// (Khatiwada, Shraga, Miller): Full Disjunction — the associative extension
+// of the outer join that integrates tables maximally and without
+// redundancy — preceded by a data-driven value-matching step that resolves
+// typos, case differences, abbreviations, and synonyms among join values,
+// so tuples that denote the same real-world facts integrate even when
+// their values disagree textually.
+//
+// Quick start:
+//
+//	tables := []*fuzzyfd.Table{t1, t2, t3}
+//	res, err := fuzzyfd.Integrate(tables)
+//	if err != nil { ... }
+//	fmt.Println(res.Table)            // the integrated table
+//	fmt.Println(res.Prov[0])          // which input tuples produced row 0
+//
+// Options select the embedding model, the matching threshold θ, the
+// baseline equi-join pipeline, content-based column alignment for tables
+// with unreliable headers, and parallel Full Disjunction:
+//
+//	res, err := fuzzyfd.Integrate(tables,
+//	    fuzzyfd.WithModel(fuzzyfd.ModelMistral),
+//	    fuzzyfd.WithThreshold(0.7),
+//	    fuzzyfd.WithContentAlignment(true),
+//	    fuzzyfd.WithParallelFD(8),
+//	)
+package fuzzyfd
+
+import (
+	"fmt"
+	"io"
+
+	"fuzzyfd/internal/core"
+	"fuzzyfd/internal/discovery"
+	"fuzzyfd/internal/embed"
+	"fuzzyfd/internal/fd"
+	"fuzzyfd/internal/match"
+	"fuzzyfd/internal/table"
+)
+
+// Re-exported table types: the tabular substrate the integrator consumes
+// and produces.
+type (
+	// Table is a named relation of null-aware string cells.
+	Table = table.Table
+	// Row is one tuple of a Table.
+	Row = table.Row
+	// Cell is a single value or null.
+	Cell = table.Cell
+	// TID identifies an input tuple (table index, row index) in provenance.
+	TID = fd.TID
+	// Result is an integration result: the integrated table, per-row
+	// provenance, value clusters, statistics, and per-phase timings.
+	Result = core.Result
+	// ValueCluster is one set of matched values with its representative.
+	ValueCluster = match.Cluster
+)
+
+// Embedding model names, ordered weakest to strongest (paper Table 1).
+const (
+	ModelFastText = embed.FastText
+	ModelBERT     = embed.BERT
+	ModelRoBERTa  = embed.RoBERTa
+	ModelLlama3   = embed.Llama3
+	ModelMistral  = embed.Mistral
+)
+
+// DefaultThreshold is the paper's matching threshold θ = 0.7.
+const DefaultThreshold = match.DefaultTheta
+
+// NewTable returns an empty table with the given name and columns.
+func NewTable(name string, columns ...string) *Table { return table.New(name, columns...) }
+
+// String returns a non-null cell.
+func String(s string) Cell { return table.S(s) }
+
+// Null returns a null cell.
+func Null() Cell { return table.Null() }
+
+// ReadCSVFile loads a table from a CSV or TSV file. Empty fields and common
+// markers (NULL, N/A, ...) are read as nulls.
+func ReadCSVFile(path string) (*Table, error) {
+	return table.ReadCSVFile(path, table.ReadOptions{TrimSpace: true})
+}
+
+// WriteCSVFile writes a table as CSV, rendering nulls as empty fields.
+func WriteCSVFile(path string, t *Table) error {
+	return table.WriteCSVFile(path, t, table.WriteOptions{})
+}
+
+// WriteJSONL writes a table as JSON Lines (one object per row, null cells
+// omitted) — the machine-readable output of the fuzzyfd CLI's -json flag.
+func WriteJSONL(w io.Writer, t *Table) error {
+	return table.WriteJSONL(w, t)
+}
+
+// Option configures Integrate and MatchValues.
+type Option func(*options) error
+
+type options struct {
+	cfg core.Config
+}
+
+// WithModel selects the embedding model by name (ModelMistral by default).
+func WithModel(name string) Option {
+	return func(o *options) error {
+		m, err := embed.New(name)
+		if err != nil {
+			return err
+		}
+		o.cfg.Embedder = m
+		return nil
+	}
+}
+
+// WithThreshold sets the value-matching threshold θ in (0, 1].
+func WithThreshold(theta float64) Option {
+	return func(o *options) error {
+		if theta <= 0 || theta > 1 {
+			return fmt.Errorf("fuzzyfd: threshold %v outside (0, 1]", theta)
+		}
+		o.cfg.Theta = theta
+		return nil
+	}
+}
+
+// WithEquiJoin disables value matching, producing the regular (ALITE-style)
+// Full Disjunction baseline.
+func WithEquiJoin() Option {
+	return func(o *options) error {
+		o.cfg.Method = core.MethodEquiFD
+		return nil
+	}
+}
+
+// WithContentAlignment aligns columns by content instead of by identical
+// names — for integration sets whose headers are missing or unreliable.
+// useHeaders additionally blends header text into the alignment when
+// headers exist but are noisy.
+func WithContentAlignment(useHeaders bool) Option {
+	return func(o *options) error {
+		o.cfg.AlignContent = true
+		o.cfg.UseHeaders = useHeaders
+		return nil
+	}
+}
+
+// WithParallelFD computes the Full Disjunction with the given number of
+// workers.
+func WithParallelFD(workers int) Option {
+	return func(o *options) error {
+		if workers < 1 {
+			return fmt.Errorf("fuzzyfd: workers %d < 1", workers)
+		}
+		o.cfg.FD.Workers = workers
+		return nil
+	}
+}
+
+// WithTupleBudget aborts integration if the Full Disjunction closure
+// exceeds n tuples — a safety valve for pathological join blowup.
+func WithTupleBudget(n int) Option {
+	return func(o *options) error {
+		o.cfg.FD.MaxTuples = n
+		return nil
+	}
+}
+
+// WithGreedyAssignment replaces the exact bipartite assignment with the
+// greedy heuristic (the ablation baseline; faster, slightly less accurate).
+func WithGreedyAssignment() Option {
+	return func(o *options) error {
+		o.cfg.MatchMode = match.ModeGreedy
+		return nil
+	}
+}
+
+// WithLexiconWeight uses a Mistral-tier embedder whose entity-knowledge
+// share is scaled by w — the knob approximating the paper's future work on
+// finetuned value embedders (larger w concentrates the representation on
+// entity identity; 0 disables entity knowledge). Overrides WithModel.
+func WithLexiconWeight(w float64) Option {
+	return func(o *options) error {
+		if w < 0 {
+			return fmt.Errorf("fuzzyfd: lexicon weight %v < 0", w)
+		}
+		o.cfg.Embedder = embed.NewTuned(w)
+		return nil
+	}
+}
+
+func buildOptions(opts []Option) (core.Config, error) {
+	var o options
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return core.Config{}, err
+		}
+	}
+	return o.cfg, nil
+}
+
+// Integrate applies Fuzzy Full Disjunction (or the equi-join baseline, with
+// WithEquiJoin) to the integration set. Input tables are not modified.
+func Integrate(tables []*Table, opts ...Option) (*Result, error) {
+	cfg, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return core.Integrate(tables, cfg)
+}
+
+// MatchValues runs only the fuzzy value-matching component over a set of
+// aligning columns (each a list of cell values), returning the disjoint
+// value clusters with elected representatives — the building block for
+// custom integration flows.
+func MatchValues(columns [][]string, opts ...Option) ([]ValueCluster, error) {
+	cfg, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	emb := cfg.Embedder
+	if emb == nil {
+		emb = embed.NewMistral()
+	}
+	m := &match.Matcher{Emb: emb, Opts: match.Options{Theta: cfg.Theta, Mode: cfg.MatchMode}}
+	cols := make([]match.Column, len(columns))
+	for i, c := range columns {
+		cols[i] = match.NewColumn(fmt.Sprintf("col%d", i), c)
+	}
+	return m.Match(cols)
+}
+
+// Models lists the available embedding model names, weakest tier first.
+func Models() []string { return embed.ModelNames() }
+
+// Candidate is one table-search result: a corpus table with its relevance
+// score, and — for join search — the best-matching column pair.
+type Candidate = discovery.Candidate
+
+// DiscoverJoinable ranks corpus tables by how well some column joins a
+// query column (value containment), returning the top k. This is the
+// search step that precedes integration in the paper's pipeline; hand the
+// discovered tables to Integrate.
+func DiscoverJoinable(query *Table, corpus []*Table, k int, opts ...Option) ([]Candidate, error) {
+	return discover(query, corpus, k, opts, true)
+}
+
+// DiscoverUnionable ranks corpus tables by schema-level unionability with
+// the query (column-content similarity), returning the top k.
+func DiscoverUnionable(query *Table, corpus []*Table, k int, opts ...Option) ([]Candidate, error) {
+	return discover(query, corpus, k, opts, false)
+}
+
+func discover(query *Table, corpus []*Table, k int, opts []Option, join bool) ([]Candidate, error) {
+	cfg, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	emb := cfg.Embedder
+	if emb == nil {
+		emb = embed.NewMistral()
+	}
+	s := &discovery.Searcher{Emb: emb}
+	if join {
+		return s.Joinables(query, corpus, k)
+	}
+	return s.Unionables(query, corpus, k)
+}

@@ -1,0 +1,110 @@
+package assign
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrTooLarge is returned by BruteForce for inputs beyond its factorial
+// budget.
+var ErrTooLarge = errors.New("assign: brute force limited to 9 rows")
+
+// BruteForce finds the optimal assignment by enumerating all permutations.
+// It exists as a correctness oracle for property tests and works only for
+// small matrices (≤9 rows after orienting rows ≤ cols).
+func BruteForce(cost [][]float64) ([]int, float64, error) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0, nil
+	}
+	m := len(cost[0])
+	for _, row := range cost {
+		if len(row) != m {
+			return nil, 0, ErrRagged
+		}
+	}
+	if n > m {
+		tr := make([][]float64, m)
+		for j := 0; j < m; j++ {
+			tr[j] = make([]float64, n)
+			for i := 0; i < n; i++ {
+				tr[j][i] = cost[i][j]
+			}
+		}
+		colToRow, total, err := BruteForce(tr)
+		if err != nil {
+			return nil, 0, err
+		}
+		rowToCol := make([]int, n)
+		for i := range rowToCol {
+			rowToCol[i] = -1
+		}
+		for j, i := range colToRow {
+			if i >= 0 {
+				rowToCol[i] = j
+			}
+		}
+		return rowToCol, total, nil
+	}
+	if n > 9 {
+		return nil, 0, ErrTooLarge
+	}
+
+	// Clamp Forbidden entries so sums stay finite (mirrors Solve).
+	big := 1.0
+	for _, row := range cost {
+		for _, c := range row {
+			if c < Forbidden {
+				big += c
+			}
+		}
+	}
+	big *= 2
+	work := make([][]float64, n)
+	for i, row := range cost {
+		work[i] = make([]float64, m)
+		for j, c := range row {
+			if c >= Forbidden {
+				work[i][j] = big
+			} else {
+				work[i][j] = c
+			}
+		}
+	}
+
+	best := math.MaxFloat64
+	var bestAssign []int
+	cur := make([]int, n)
+	used := make([]bool, m)
+	var rec func(i int, acc float64)
+	rec = func(i int, acc float64) {
+		if acc >= best {
+			return
+		}
+		if i == n {
+			best = acc
+			bestAssign = append([]int(nil), cur...)
+			return
+		}
+		for j := 0; j < m; j++ {
+			if used[j] {
+				continue
+			}
+			used[j] = true
+			cur[i] = j
+			rec(i+1, acc+work[i][j])
+			used[j] = false
+		}
+	}
+	rec(0, 0)
+
+	total := 0.0
+	for i, j := range bestAssign {
+		if cost[i][j] >= Forbidden {
+			bestAssign[i] = -1
+			continue
+		}
+		total += cost[i][j]
+	}
+	return bestAssign, total, nil
+}

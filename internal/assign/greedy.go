@@ -1,0 +1,58 @@
+package assign
+
+import "sort"
+
+// Greedy computes a matching by repeatedly taking the globally cheapest
+// remaining edge whose endpoints are both free. It is not optimal — it is
+// the ablation baseline the benchmarks compare the exact solver against —
+// but it is simple, fast, and deterministic (ties break on (A, B) order).
+func Greedy(edges []Edge) []Pair {
+	sorted := make([]Edge, len(edges))
+	copy(sorted, edges)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Cost != sorted[j].Cost {
+			return sorted[i].Cost < sorted[j].Cost
+		}
+		if sorted[i].A != sorted[j].A {
+			return sorted[i].A < sorted[j].A
+		}
+		return sorted[i].B < sorted[j].B
+	})
+	usedA := make(map[int]bool)
+	usedB := make(map[int]bool)
+	var out []Pair
+	for _, e := range sorted {
+		if usedA[e.A] || usedB[e.B] {
+			continue
+		}
+		usedA[e.A] = true
+		usedB[e.B] = true
+		out = append(out, Pair{A: e.A, B: e.B, Cost: e.Cost})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].A < out[j].A })
+	return out
+}
+
+// GreedyDense adapts Greedy to a dense cost matrix, skipping Forbidden
+// entries. Returns rowToCol with -1 for unmatched rows, and the total cost.
+func GreedyDense(cost [][]float64) ([]int, float64) {
+	var edges []Edge
+	for i, row := range cost {
+		for j, c := range row {
+			if c < Forbidden {
+				edges = append(edges, Edge{A: i, B: j, Cost: c})
+			}
+		}
+	}
+	pairs := Greedy(edges)
+	rowToCol := make([]int, len(cost))
+	for i := range rowToCol {
+		rowToCol[i] = -1
+	}
+	total := 0.0
+	for _, p := range pairs {
+		rowToCol[p.A] = p.B
+		total += p.Cost
+	}
+	return rowToCol, total
+}

@@ -1,0 +1,160 @@
+package assign
+
+import "sort"
+
+// Edge is a candidate pairing between left item A and right item B with a
+// non-negative cost.
+type Edge struct {
+	A, B int
+	Cost float64
+}
+
+// Pair is one matched (A, B) with its cost.
+type Pair struct {
+	A, B int
+	Cost float64
+}
+
+// MatchSparse computes a maximum-cardinality, minimum-cost matching over a
+// sparse bipartite candidate graph with nA left and nB right items. Items
+// with no incident edge stay unmatched. The result is exactly what a dense
+// Solve would produce with absent edges set to Forbidden, but the work is
+// proportional to the connected components' sizes, so million-value columns
+// with mostly-exact matches cost near-linear time.
+//
+// Cardinality dominates cost: within each component the solver prefers
+// matching more pairs over matching cheaper ones (each unmatched item is
+// charged a cost exceeding any finite edge sum), mirroring thresholded
+// linear sum assignment where leaving a feasible pair unmatched is never
+// optimal.
+func MatchSparse(nA, nB int, edges []Edge) []Pair {
+	if len(edges) == 0 {
+		return nil
+	}
+	// Union left items that are connected through shared right items (and
+	// vice versa). Left nodes are [0, nA); right nodes are nA + b.
+	uf := newUnionFind(nA + nB)
+	for _, e := range edges {
+		uf.union(e.A, nA+e.B)
+	}
+	// Group edges by component root.
+	groups := make(map[int][]Edge)
+	for _, e := range edges {
+		r := uf.find(e.A)
+		groups[r] = append(groups[r], e)
+	}
+	// Deterministic component order.
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+
+	var out []Pair
+	for _, r := range roots {
+		out = append(out, matchComponent(groups[r])...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// matchComponent solves one connected component exactly via the dense
+// solver on its compacted cost matrix.
+func matchComponent(edges []Edge) []Pair {
+	// Compact left/right IDs.
+	leftIdx := make(map[int]int)
+	rightIdx := make(map[int]int)
+	var left, right []int
+	for _, e := range edges {
+		if _, ok := leftIdx[e.A]; !ok {
+			leftIdx[e.A] = len(left)
+			left = append(left, e.A)
+		}
+		if _, ok := rightIdx[e.B]; !ok {
+			rightIdx[e.B] = len(right)
+			right = append(right, e.B)
+		}
+	}
+	// A prohibitive per-edge cost that still lets delta arithmetic stay
+	// finite: bigger than any possible sum of real edges in the component.
+	big := 1.0
+	for _, e := range edges {
+		big += e.Cost
+	}
+	big *= 2
+
+	cost := make([][]float64, len(left))
+	for i := range cost {
+		cost[i] = make([]float64, len(right))
+		for j := range cost[i] {
+			cost[i][j] = big
+		}
+	}
+	for _, e := range edges {
+		i := leftIdx[e.A]
+		j := rightIdx[e.B]
+		if e.Cost < cost[i][j] {
+			cost[i][j] = e.Cost
+		}
+	}
+	rowToCol := solveDenseWithin(cost)
+	var out []Pair
+	for i, j := range rowToCol {
+		if j < 0 || cost[i][j] >= big {
+			continue
+		}
+		out = append(out, Pair{A: left[i], B: right[j], Cost: cost[i][j]})
+	}
+	return out
+}
+
+// solveDenseWithin runs the dense solver, tolerating the rows>cols case.
+func solveDenseWithin(cost [][]float64) []int {
+	rowToCol, _, err := Solve(cost)
+	if err != nil {
+		// Matrices built above are never ragged.
+		panic(err)
+	}
+	return rowToCol
+}
+
+// unionFind is a standard disjoint-set structure with path compression and
+// union by size.
+type unionFind struct {
+	parent []int
+	size   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), size: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+}

@@ -1,0 +1,290 @@
+// Package core implements the paper's integration pipelines end to end:
+//
+//   - Fuzzy Full Disjunction (the contribution): align columns, find fuzzy
+//     value matches per aligned column set, rewrite cells to cluster
+//     representatives, then apply the equi-join Full Disjunction operator.
+//   - Regular Full Disjunction (the ALITE baseline): the same pipeline
+//     without the value-matching step.
+//
+// Per-phase timings are recorded so the efficiency comparison of the
+// paper's Figure 3 — Fuzzy FD adds no significant overhead over FD — can be
+// reproduced directly.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"fuzzyfd/internal/align"
+	"fuzzyfd/internal/embed"
+	"fuzzyfd/internal/fd"
+	"fuzzyfd/internal/match"
+	"fuzzyfd/internal/table"
+)
+
+// Method selects the integration pipeline.
+type Method int
+
+const (
+	// MethodFuzzyFD is the paper's contribution: value matching before FD.
+	MethodFuzzyFD Method = iota
+	// MethodEquiFD is the regular Full Disjunction baseline (ALITE).
+	MethodEquiFD
+)
+
+// String names the method as the paper does.
+func (m Method) String() string {
+	if m == MethodEquiFD {
+		return "ALITE (equi-join FD)"
+	}
+	return "Fuzzy FD"
+}
+
+// Config parameterizes an integration run. The zero value is a usable Fuzzy
+// FD configuration with the paper's defaults (Mistral embeddings, θ=0.7,
+// schema alignment by identical column names).
+type Config struct {
+	Method Method
+	// Embedder powers value matching (and content-based alignment). Nil
+	// means the Mistral tier.
+	Embedder embed.Embedder
+	// Theta is the value-matching threshold (0 → match.DefaultTheta).
+	Theta float64
+	// MatchMode selects the assignment strategy (dense/sparse/auto/greedy).
+	MatchMode match.Mode
+	// AlignContent enables content-based column alignment (holistic schema
+	// matching). When false, columns align by identical names.
+	AlignContent bool
+	// AlignThreshold overrides the alignment similarity threshold.
+	AlignThreshold float64
+	// UseHeaders blends headers into content-based alignment.
+	UseHeaders bool
+	// FD tunes the Full Disjunction computation.
+	FD fd.Options
+}
+
+func (c Config) embedder() embed.Embedder {
+	if c.Embedder == nil {
+		return embed.NewMistral()
+	}
+	return c.Embedder
+}
+
+// Timings records wall-clock per pipeline phase.
+type Timings struct {
+	Align time.Duration
+	Match time.Duration // value matching + cell rewriting (zero for equi FD)
+	FD    time.Duration
+	Total time.Duration
+}
+
+// Result is the integrated table with provenance and diagnostics.
+type Result struct {
+	Table  *table.Table
+	Prov   [][]fd.TID
+	Schema fd.Schema
+	// ColumnClusters maps output column index → the value clusters found
+	// for that aligned column set (fuzzy method only, sets with ≥2 source
+	// columns only).
+	ColumnClusters map[int][]match.Cluster
+	MatchStats     match.Stats
+	FDStats        fd.Stats
+	Timings        Timings
+}
+
+// FDResult adapts the result for consumers of fd.Result (e.g. the entity
+// matcher's provenance-level evaluation).
+func (r *Result) FDResult() *fd.Result {
+	return &fd.Result{Table: r.Table, Prov: r.Prov, Stats: r.FDStats}
+}
+
+// TableWithProvenance returns a copy of the integrated table with a
+// leading TIDs column listing each row's source tuples — the presentation
+// of the paper's Figure 1.
+func (r *Result) TableWithProvenance() *table.Table {
+	cols := append([]string{"TIDs"}, r.Table.Columns...)
+	out := table.New(r.Table.Name, cols...)
+	for i, row := range r.Table.Rows {
+		ids := make([]string, len(r.Prov[i]))
+		for k, tid := range r.Prov[i] {
+			ids[k] = tid.String()
+		}
+		nr := make(table.Row, 0, len(row)+1)
+		nr = append(nr, table.S("{"+strings.Join(ids, ",")+"}"))
+		out.Rows = append(out.Rows, append(nr, row...))
+	}
+	return out
+}
+
+// ErrNoTables is returned for an empty integration set.
+var ErrNoTables = errors.New("core: no tables to integrate")
+
+// Integrate runs the configured pipeline over the integration set. Input
+// tables are never mutated.
+func Integrate(tables []*table.Table, cfg Config) (*Result, error) {
+	if len(tables) == 0 {
+		return nil, ErrNoTables
+	}
+	start := time.Now()
+	res := &Result{ColumnClusters: make(map[int][]match.Cluster)}
+
+	// Phase 1: column alignment.
+	alignStart := time.Now()
+	var schema fd.Schema
+	if cfg.AlignContent {
+		aligner := &align.Aligner{
+			Emb:        cfg.embedder(),
+			Threshold:  cfg.AlignThreshold,
+			UseHeaders: cfg.UseHeaders,
+		}
+		ar, err := aligner.Align(tables)
+		if err != nil {
+			return nil, fmt.Errorf("core: align: %w", err)
+		}
+		schema = ar.Schema(tables)
+	} else {
+		schema = fd.IdentitySchema(tables)
+	}
+	if err := schema.Validate(tables); err != nil {
+		return nil, err
+	}
+	res.Schema = schema
+	res.Timings.Align = time.Since(alignStart)
+
+	// Phase 2 (fuzzy only): value matching and cell rewriting.
+	work := tables
+	if cfg.Method == MethodFuzzyFD {
+		matchStart := time.Now()
+		rewritten, err := matchAndRewrite(tables, schema, cfg, res)
+		if err != nil {
+			return nil, err
+		}
+		work = rewritten
+		res.Timings.Match = time.Since(matchStart)
+	}
+
+	// Phase 3: equi-join Full Disjunction.
+	fdStart := time.Now()
+	fdRes, err := fd.FullDisjunction(work, schema, cfg.FD)
+	if err != nil {
+		return nil, fmt.Errorf("core: full disjunction: %w", err)
+	}
+	res.Table = fdRes.Table
+	res.Prov = fdRes.Prov
+	res.FDStats = fdRes.Stats
+	res.Timings.FD = time.Since(fdStart)
+	res.Timings.Total = time.Since(start)
+	return res, nil
+}
+
+// matchAndRewrite runs the Match Values component over every aligned
+// column set with at least two source columns and returns rewritten copies
+// of the tables.
+func matchAndRewrite(tables []*table.Table, schema fd.Schema, cfg Config, res *Result) ([]*table.Table, error) {
+	// Invert the schema: output column -> contributing (table, column)
+	// refs in table order (the order the paper's sequential matching
+	// consumes them).
+	type ref struct{ table, col int }
+	sources := make([][]ref, len(schema.Columns))
+	for ti := range schema.Mapping {
+		for ci, out := range schema.Mapping[ti] {
+			sources[out] = append(sources[out], ref{table: ti, col: ci})
+		}
+	}
+
+	emb := cfg.embedder()
+	matcher := &match.Matcher{
+		Emb:  emb,
+		Opts: match.Options{Theta: cfg.Theta, Mode: cfg.MatchMode},
+	}
+
+	// Pre-embed all distinct values of the aligned columns concurrently;
+	// matching then hits the embedder's cache. Worth it only when the FD
+	// itself will run multi-threaded or the columns are large.
+	if workers := cfg.FD.Workers; workers > 1 {
+		var values []string
+		seen := make(map[string]bool)
+		for _, refs := range sources {
+			if len(refs) < 2 {
+				continue
+			}
+			for _, rf := range refs {
+				for _, v := range tables[rf.table].ColumnValues(rf.col) {
+					if !seen[v] {
+						seen[v] = true
+						values = append(values, v)
+					}
+				}
+			}
+		}
+		embed.Warm(emb, values, workers)
+	}
+
+	rewritten := make([]*table.Table, len(tables))
+	for i, t := range tables {
+		rewritten[i] = t.Clone()
+	}
+
+	var allStats []match.Stats
+	for out, refs := range sources {
+		if len(refs) < 2 {
+			continue
+		}
+		cols := make([]match.Column, len(refs))
+		for k, rf := range refs {
+			name := fmt.Sprintf("%s.%s", tables[rf.table].Name, tables[rf.table].Columns[rf.col])
+			cols[k] = match.NewColumn(name, tables[rf.table].ColumnValues(rf.col))
+		}
+		clusters, err := matcher.Match(cols)
+		if err != nil {
+			return nil, fmt.Errorf("core: match output column %q: %w", schema.Columns[out], err)
+		}
+		res.ColumnClusters[out] = clusters
+		allStats = append(allStats, match.Summarize(clusters))
+
+		maps := match.RewriteMaps(clusters, len(refs))
+		for k, rf := range refs {
+			applyRewrite(rewritten[rf.table], rf.col, maps[k])
+		}
+	}
+	res.MatchStats = combineStats(allStats)
+	return rewritten, nil
+}
+
+// applyRewrite replaces column ci's cell values according to m.
+func applyRewrite(t *table.Table, ci int, m map[string]string) {
+	for _, row := range t.Rows {
+		if row[ci].IsNull {
+			continue
+		}
+		if rep, ok := m[row[ci].Val]; ok && rep != row[ci].Val {
+			row[ci] = table.S(rep)
+		}
+	}
+}
+
+func combineStats(stats []match.Stats) match.Stats {
+	var out match.Stats
+	var distSum float64
+	var distN int
+	for _, s := range stats {
+		out.Clusters += s.Clusters
+		out.Singletons += s.Singletons
+		out.Merged += s.Merged
+		out.Members += s.Members
+		out.Rewrites += s.Rewrites
+		if s.LargestSize > out.LargestSize {
+			out.LargestSize = s.LargestSize
+		}
+		if s.MeanDistance > 0 {
+			distSum += s.MeanDistance
+			distN++
+		}
+	}
+	if distN > 0 {
+		out.MeanDistance = distSum / float64(distN)
+	}
+	return out
+}

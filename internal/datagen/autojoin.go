@@ -1,0 +1,139 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"fuzzyfd/internal/match"
+	"fuzzyfd/internal/metrics"
+)
+
+// IntegrationSet is one Auto-Join-style benchmark instance: a set of
+// aligning columns whose values can be joined fuzzily, plus the gold
+// clustering (which surface forms denote the same entity).
+type IntegrationSet struct {
+	Name       string
+	Topic      string
+	Columns    []match.Column
+	Transforms [][]string // per-column pipeline names (column 0 is canonical)
+	// gold clusters: per entity, the member IDs "col:value" present in the
+	// columns.
+	gold [][]string
+}
+
+// GoldPairs returns the gold value-match pairs in the same ID space as
+// match.Pairs.
+func (s *IntegrationSet) GoldPairs() metrics.PairSet {
+	ps := metrics.NewPairSet()
+	for _, cluster := range s.gold {
+		for i := 0; i < len(cluster); i++ {
+			for j := i + 1; j < len(cluster); j++ {
+				ps.Add(cluster[i], cluster[j])
+			}
+		}
+	}
+	return ps
+}
+
+// Evaluate scores a predicted clustering against the gold matching.
+func (s *IntegrationSet) Evaluate(clusters []match.Cluster) metrics.PRF {
+	pred := metrics.NewPairSet()
+	for _, p := range match.Pairs(clusters) {
+		pred.Add(p[0], p[1])
+	}
+	return metrics.Evaluate(pred, s.GoldPairs())
+}
+
+// AutoJoinConfig parameterizes the generated Auto-Join benchmark.
+type AutoJoinConfig struct {
+	Seed int64
+	// Sets is the number of integration sets (paper: 31).
+	Sets int
+	// ValuesPerColumn is the target column size (paper: ~150 on average;
+	// lexicon-backed topics are naturally smaller).
+	ValuesPerColumn int
+}
+
+func (c AutoJoinConfig) withDefaults() AutoJoinConfig {
+	if c.Sets == 0 {
+		c.Sets = 31
+	}
+	if c.ValuesPerColumn == 0 {
+		c.ValuesPerColumn = 150
+	}
+	return c
+}
+
+// AutoJoin generates the benchmark: cfg.Sets integration sets cycling
+// through the 17 topics, each with 2-4 aligning columns. Column 0 holds
+// canonical forms; each later column holds an overlapping entity sample
+// perturbed by a per-column transformation pipeline. Values within a
+// column are distinct (the clean-clean scenario of §2.1).
+func AutoJoin(cfg AutoJoinConfig) []*IntegrationSet {
+	cfg = cfg.withDefaults()
+	topics := Topics()
+	sets := make([]*IntegrationSet, cfg.Sets)
+	for i := range sets {
+		topic := topics[i%len(topics)]
+		r := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+		sets[i] = buildSet(fmt.Sprintf("set%02d-%s", i, topic.Name), topic, cfg.ValuesPerColumn, r)
+	}
+	return sets
+}
+
+func buildSet(name string, topic Topic, perColumn int, r *rand.Rand) *IntegrationSet {
+	nCols := 2 + r.Intn(3)
+	// Draw a universe ~30% larger than a column so columns overlap
+	// substantially without being identical.
+	universe := topic.Values(perColumn+perColumn/3, r)
+
+	set := &IntegrationSet{Name: name, Topic: topic.Name}
+	surfaces := make([][]string, len(universe)) // per entity, per column ("" = absent)
+	for e := range surfaces {
+		surfaces[e] = make([]string, nCols)
+	}
+
+	for k := 0; k < nCols; k++ {
+		pipe := pipelineFor(topic, k, r)
+		used := make(map[string]bool)
+		var cells []string
+		for e, canonical := range universe {
+			if r.Float64() > 0.8 { // entity absent from this column
+				continue
+			}
+			surface := ""
+			for try := 0; try < 4; try++ {
+				cand := pipe.Apply(canonical, r)
+				if cand != "" && !used[cand] {
+					surface = cand
+					break
+				}
+			}
+			if surface == "" && !used[canonical] {
+				surface = canonical
+			}
+			if surface == "" {
+				continue
+			}
+			used[surface] = true
+			surfaces[e][k] = surface
+			cells = append(cells, surface)
+		}
+		set.Columns = append(set.Columns, match.NewColumn(fmt.Sprintf("%s.c%d", name, k), cells))
+		set.Transforms = append(set.Transforms, pipe.Names())
+	}
+
+	for e := range surfaces {
+		var cluster []string
+		for k, s := range surfaces[e] {
+			if s != "" {
+				cluster = append(cluster, strconv.Itoa(k)+":"+s)
+			}
+		}
+		if len(cluster) > 0 {
+			set.gold = append(set.gold, cluster)
+		}
+	}
+	return set
+}

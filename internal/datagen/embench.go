@@ -1,0 +1,196 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fuzzyfd/internal/fd"
+	"fuzzyfd/internal/lexicon"
+	"fuzzyfd/internal/table"
+)
+
+// EMBenchmark is the generated equivalent of ALITE's entity-matching
+// dataset (§3.1): entities whose attributes are scattered across several
+// tables with per-table value inconsistencies, plus gold entity labels for
+// every input tuple.
+type EMBenchmark struct {
+	Tables []*table.Table
+	Gold   map[fd.TID]string
+}
+
+// EMConfig parameterizes the EM benchmark.
+type EMConfig struct {
+	Seed int64
+	// Entities is the number of distinct real-world entities (default 150).
+	Entities int
+	// ConfusableFrac is the share of entities given a "name twin": a
+	// different entity whose name differs by a single edit. Twins are what
+	// partial integration turns into entity-matching false positives
+	// (default 0.15).
+	ConfusableFrac float64
+	// Presence is the probability an entity appears in each table
+	// (default 0.75).
+	Presence float64
+}
+
+func (c EMConfig) withDefaults() EMConfig {
+	if c.Entities == 0 {
+		c.Entities = 150
+	}
+	if c.ConfusableFrac == 0 {
+		c.ConfusableFrac = 0.15
+	}
+	if c.Presence == 0 {
+		c.Presence = 0.75
+	}
+	return c
+}
+
+// emEntity is the ground-truth record behind the scattered tuples.
+type emEntity struct {
+	id      string
+	name    string
+	city    string
+	country string
+	company string
+	title   string
+	phone   string
+}
+
+// EMBench generates the benchmark: four tables covering overlapping
+// attribute subsets, joined (fuzzily) on the person name.
+//
+//	directory(name, city, country)       — canonical values
+//	employment(name, company, title, city) — names inverted to "Last, First"
+//	contacts(name, phone, city)          — typos and lowercasing
+//	civic(name, country, company, city)  — abbreviations and country codes
+//
+// Every table carries the city, so the entity matcher always has a second
+// signal besides the name — without it, partial integration degenerates
+// into name-only comparisons and precision collapses unrealistically.
+func EMBench(cfg EMConfig) *EMBenchmark {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	entities := makeEntities(cfg, r)
+
+	bench := &EMBenchmark{Gold: make(map[fd.TID]string)}
+	type spec struct {
+		name    string
+		columns []string
+		fill    func(e emEntity, fuzz func(string, Pipeline) string) table.Row
+	}
+	cell := func(s string) table.Cell {
+		if s == "" {
+			return table.Null()
+		}
+		return table.S(s)
+	}
+	specs := []spec{
+		{
+			name:    "directory",
+			columns: []string{"name", "city", "country"},
+			fill: func(e emEntity, fz func(string, Pipeline) string) table.Row {
+				return table.Row{cell(e.name), cell(e.city), cell(e.country)}
+			},
+		},
+		{
+			name:    "employment",
+			columns: []string{"name", "company", "title", "city"},
+			fill: func(e emEntity, fz func(string, Pipeline) string) table.Row {
+				return table.Row{
+					cell(fz(e.name, Pipeline{ReorderComma(0.7)})),
+					cell(fz(e.company, Pipeline{AbbrevTerms(0.4)})),
+					cell(e.title),
+					cell(e.city),
+				}
+			},
+		},
+		{
+			name:    "contacts",
+			columns: []string{"name", "phone", "city"},
+			fill: func(e emEntity, fz func(string, Pipeline) string) table.Row {
+				return table.Row{
+					cell(fz(e.name, Pipeline{Typo(0.5), LowerCase(0.35)})),
+					cell(e.phone),
+					cell(fz(e.city, Pipeline{Typo(0.3)})),
+				}
+			},
+		},
+		{
+			name:    "civic",
+			columns: []string{"name", "country", "company", "city"},
+			fill: func(e emEntity, fz func(string, Pipeline) string) table.Row {
+				return table.Row{
+					cell(fz(e.name, Pipeline{Typo(0.25), LowerCase(0.3)})),
+					cell(fz(e.country, Pipeline{LexSynonym(0.7)})),
+					cell(fz(e.company, Pipeline{AbbrevTerms(0.5), LowerCase(0.3)})),
+					cell(fz(e.city, Pipeline{LowerCase(0.3)})),
+				}
+			},
+		},
+	}
+
+	for ti, sp := range specs {
+		t := table.New(sp.name, sp.columns...)
+		// Track used names to keep the join column clean-clean: a surface
+		// form must denote one entity within a table.
+		used := make(map[string]bool)
+		for _, e := range entities {
+			if r.Float64() > cfg.Presence {
+				continue
+			}
+			fz := func(v string, p Pipeline) string { return p.Apply(v, r) }
+			row := sp.fill(e, fz)
+			nameCell := row[0]
+			if nameCell.IsNull || used[nameCell.Val] {
+				continue
+			}
+			used[nameCell.Val] = true
+			bench.Gold[fd.TID{Table: ti, Row: len(t.Rows)}] = e.id
+			t.Rows = append(t.Rows, row)
+		}
+		bench.Tables = append(bench.Tables, t)
+	}
+	return bench
+}
+
+func makeEntities(cfg EMConfig, r *rand.Rand) []emEntity {
+	countries := lexicon.Full().EntriesWithPrefix("country/")
+	var out []emEntity
+	usedNames := make(map[string]bool)
+	newName := func() string {
+		for {
+			n := firstNames[r.Intn(len(firstNames))] + " " + lastNames[r.Intn(len(lastNames))]
+			if !usedNames[n] {
+				usedNames[n] = true
+				return n
+			}
+		}
+	}
+	mk := func(id, name string) emEntity {
+		return emEntity{
+			id:      id,
+			name:    name,
+			city:    cityNames[r.Intn(len(cityNames))],
+			country: countries[r.Intn(len(countries))].Canonical,
+			company: companyRoots[r.Intn(len(companyRoots))] + " " + companySuffixes[r.Intn(len(companySuffixes))],
+			title:   officialTitles[r.Intn(len(officialTitles))],
+			phone:   fmt.Sprintf("555-%04d", r.Intn(10000)),
+		}
+	}
+	for i := 0; i < cfg.Entities; i++ {
+		e := mk(fmt.Sprintf("e%03d", i), newName())
+		out = append(out, e)
+		if r.Float64() < cfg.ConfusableFrac {
+			// A name twin: one character edit away, everything else
+			// different. Partial rows make these indistinguishable.
+			twinName := Typo(1.0).Apply(e.name, r)
+			if twinName != e.name && !usedNames[twinName] {
+				usedNames[twinName] = true
+				out = append(out, mk(fmt.Sprintf("e%03d-twin", i), twinName))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"fuzzyfd/internal/table"
+)
+
+// IMDBConfig parameterizes the IMDB-shaped efficiency benchmark: six tables
+// with the schema shape of the public IMDB dump, sampled to a total input
+// tuple budget — the workload ALITE's efficiency study (and the paper's
+// Figure 3) runs FD over. This is an equi-join benchmark: values are
+// consistent, so the fuzzy Match Values step finds (and should find) next
+// to nothing, exercising its overhead exactly as the paper intends.
+type IMDBConfig struct {
+	Seed int64
+	// TotalTuples is the total number of input rows across all six tables
+	// (the paper sweeps 5K to 30K).
+	TotalTuples int
+}
+
+// Per-table shares of the tuple budget, roughly matching the relative sizes
+// of the real dump's files at small sample sizes.
+var imdbShares = []struct {
+	name  string
+	share float64
+}{
+	{"title_basics", 0.25},
+	{"title_akas", 0.18},
+	{"title_ratings", 0.15},
+	{"title_principals", 0.20},
+	{"name_basics", 0.14},
+	{"title_crew", 0.08},
+}
+
+// IMDB generates the six-table benchmark. Shared key columns carry the same
+// name across tables ("tconst", "nconst"), mirroring the pre-aligned schema
+// ALITE's IMDB benchmark uses, so fd.IdentitySchema integrates them.
+func IMDB(cfg IMDBConfig) []*table.Table {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	total := cfg.TotalTuples
+	if total <= 0 {
+		total = 5000
+	}
+	counts := make([]int, len(imdbShares))
+	for i, s := range imdbShares {
+		counts[i] = int(float64(total) * s.share)
+	}
+
+	nTitles := counts[0]
+	nNames := counts[4]
+	tconsts := uniqueIDs(r, "tt", nTitles)
+	nconsts := uniqueIDs(r, "nm", nNames)
+	titles := genMovies(nTitles, r)
+	for len(titles) < nTitles {
+		titles = append(titles, fmt.Sprintf("Untitled Project %d", len(titles)))
+	}
+	people := genAthletes(nNames, r)
+	for len(people) < nNames {
+		people = append(people, fmt.Sprintf("Performer %d", len(people)))
+	}
+
+	titleTypes := []string{"movie", "short", "tvSeries", "tvEpisode", "documentary"}
+
+	basics := table.New("title_basics", "tconst", "primaryTitle", "titleType", "startYear", "runtimeMinutes", "genres")
+	for i := 0; i < nTitles; i++ {
+		g := genres[r.Intn(len(genres))]
+		if r.Intn(2) == 0 {
+			g += "," + genres[r.Intn(len(genres))]
+		}
+		basics.MustAppendRow(
+			table.S(tconsts[i]),
+			table.S(titles[i]),
+			table.S(titleTypes[r.Intn(len(titleTypes))]),
+			table.S(fmt.Sprintf("%d", 1950+r.Intn(74))),
+			table.S(fmt.Sprintf("%d", 40+r.Intn(140))),
+			table.S(g),
+		)
+	}
+
+	akas := table.New("title_akas", "tconst", "akaTitle", "region")
+	regions := []string{"US", "GB", "DE", "FR", "ES", "IT", "JP", "CA", "AU", "IN", "BR", "MX"}
+	for i := 0; i < counts[1]; i++ {
+		ti := r.Intn(nTitles)
+		variant := titles[ti]
+		switch r.Intn(3) {
+		case 0:
+			variant = strings.ToUpper(variant)
+		case 1:
+			variant = variant + " (" + regions[r.Intn(len(regions))] + " release)"
+		}
+		akas.MustAppendRow(table.S(tconsts[ti]), table.S(variant), table.S(regions[r.Intn(len(regions))]))
+	}
+
+	ratings := table.New("title_ratings", "tconst", "averageRating", "numVotes")
+	ratedPerm := r.Perm(nTitles)
+	nRatings := counts[2]
+	if nRatings > nTitles {
+		nRatings = nTitles
+	}
+	for i := 0; i < nRatings; i++ {
+		ti := ratedPerm[i]
+		ratings.MustAppendRow(
+			table.S(tconsts[ti]),
+			table.S(fmt.Sprintf("%.1f", 1+r.Float64()*9)),
+			table.S(fmt.Sprintf("%d", 10+r.Intn(1_000_000))),
+		)
+	}
+
+	principals := table.New("title_principals", "tconst", "nconst", "category", "ordering")
+	for i := 0; i < counts[3]; i++ {
+		principals.MustAppendRow(
+			table.S(tconsts[r.Intn(nTitles)]),
+			table.S(nconsts[r.Intn(nNames)]),
+			table.S(professions[r.Intn(len(professions))]),
+			table.S(fmt.Sprintf("%d", 1+r.Intn(10))),
+		)
+	}
+
+	names := table.New("name_basics", "nconst", "primaryName", "birthYear", "primaryProfession")
+	for i := 0; i < nNames; i++ {
+		names.MustAppendRow(
+			table.S(nconsts[i]),
+			table.S(people[i]),
+			table.S(fmt.Sprintf("%d", 1920+r.Intn(90))),
+			table.S(professions[r.Intn(len(professions))]),
+		)
+	}
+
+	crew := table.New("title_crew", "tconst", "nconst")
+	crewPerm := r.Perm(nTitles)
+	nCrew := counts[5]
+	if nCrew > nTitles {
+		nCrew = nTitles
+	}
+	for i := 0; i < nCrew; i++ {
+		crew.MustAppendRow(
+			table.S(tconsts[crewPerm[i]]),
+			table.S(nconsts[r.Intn(nNames)]),
+		)
+	}
+
+	return []*table.Table{basics, akas, ratings, principals, names, crew}
+}
+
+// uniqueIDs draws n distinct IMDB-style IDs with the given prefix. The ID
+// space is sparse (8 random digits) so near-identical IDs — which fuzzy
+// matchers could spuriously bridge — are rare, as in the real dump samples.
+func uniqueIDs(r *rand.Rand, prefix string, n int) []string {
+	seen := make(map[string]bool, n)
+	out := make([]string, 0, n)
+	for len(out) < n {
+		id := fmt.Sprintf("%s%08d", prefix, r.Intn(100_000_000))
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// TotalRows sums the row counts of an integration set — the "number of
+// input tuples" axis of Figure 3.
+func TotalRows(tables []*table.Table) int {
+	n := 0
+	for _, t := range tables {
+		n += len(t.Rows)
+	}
+	return n
+}

@@ -1,0 +1,240 @@
+package datagen
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"unicode"
+
+	"fuzzyfd/internal/lexicon"
+	"fuzzyfd/internal/strutil"
+)
+
+// Transform perturbs a canonical value into the kind of inconsistent
+// surface form found in data lakes: typos, case changes, abbreviations,
+// synonyms/codes, token reorderings, punctuation noise. Transforms are
+// deterministic given the rand source.
+type Transform struct {
+	Name string
+	// Rate is the per-value application probability.
+	Rate float64
+	fn   func(v string, r *rand.Rand) string
+}
+
+// Apply perturbs v with probability Rate; otherwise returns v unchanged.
+func (t Transform) Apply(v string, r *rand.Rand) string {
+	if r.Float64() >= t.Rate {
+		return v
+	}
+	return t.fn(v, r)
+}
+
+// Pipeline applies transforms in order.
+type Pipeline []Transform
+
+// Apply runs the pipeline over v.
+func (p Pipeline) Apply(v string, r *rand.Rand) string {
+	for _, t := range p {
+		v = t.Apply(v, r)
+	}
+	return v
+}
+
+// Names lists the pipeline's transform names.
+func (p Pipeline) Names() []string {
+	out := make([]string, len(p))
+	for i, t := range p {
+		out[i] = t.Name
+	}
+	return out
+}
+
+// Typo injects one random character edit: deletion, duplication, adjacent
+// swap, or vowel substitution. Letters only, so codes and numbers survive.
+func Typo(rate float64) Transform {
+	return Transform{Name: "typo", Rate: rate, fn: func(v string, r *rand.Rand) string {
+		runes := []rune(v)
+		var letters []int
+		for i, c := range runes {
+			if unicode.IsLetter(c) {
+				letters = append(letters, i)
+			}
+		}
+		if len(letters) < 3 {
+			return v
+		}
+		i := letters[1+r.Intn(len(letters)-1)] // never the first letter
+		switch r.Intn(4) {
+		case 0: // delete
+			return string(runes[:i]) + string(runes[i+1:])
+		case 1: // duplicate
+			return string(runes[:i]) + string(runes[i:i+1]) + string(runes[i:])
+		case 2: // swap with previous
+			runes[i-1], runes[i] = runes[i], runes[i-1]
+			return string(runes)
+		default: // vowel substitution
+			vowels := []rune("aeiou")
+			runes[i] = vowels[r.Intn(len(vowels))]
+			return string(runes)
+		}
+	}}
+}
+
+// LowerCase folds the value to lower case.
+func LowerCase(rate float64) Transform {
+	return Transform{Name: "lowercase", Rate: rate, fn: func(v string, r *rand.Rand) string {
+		return strings.ToLower(v)
+	}}
+}
+
+// UpperCase folds the value to upper case.
+func UpperCase(rate float64) Transform {
+	return Transform{Name: "uppercase", Rate: rate, fn: func(v string, r *rand.Rand) string {
+		return strings.ToUpper(v)
+	}}
+}
+
+// AbbrevTerms abbreviates known long tokens using the lexicon's term pairs
+// in reverse ("Street" → "St", "University" → "Univ").
+func AbbrevTerms(rate float64) Transform {
+	// Build full → abbreviated once; prefer the shortest abbreviation and
+	// iterate in sorted order for determinism.
+	terms := lexicon.Full().Terms()
+	rev := make(map[string]string)
+	abbrs := make([]string, 0, len(terms))
+	for a := range terms {
+		abbrs = append(abbrs, a)
+	}
+	sort.Strings(abbrs)
+	for _, a := range abbrs {
+		full := terms[a]
+		if cur, ok := rev[full]; !ok || len(a) < len(cur) {
+			rev[full] = a
+		}
+	}
+	return Transform{Name: "abbrev-terms", Rate: rate, fn: func(v string, r *rand.Rand) string {
+		words := strings.Fields(v)
+		changed := false
+		for i, w := range words {
+			if a, ok := rev[strings.ToLower(w)]; ok {
+				words[i] = capitalizeLike(w, a) + "."
+				changed = true
+			}
+		}
+		if !changed {
+			return v
+		}
+		return strings.Join(words, " ")
+	}}
+}
+
+// capitalizeLike renders abbr with the capitalization style of the original
+// word (Title vs lower).
+func capitalizeLike(orig, abbr string) string {
+	if orig == "" || abbr == "" {
+		return abbr
+	}
+	if unicode.IsUpper([]rune(orig)[0]) {
+		r := []rune(abbr)
+		return string(unicode.ToUpper(r[0])) + string(r[1:])
+	}
+	return abbr
+}
+
+// Initialism replaces a multi-token value with its uppercase initials
+// ("New Delhi" → "ND"). Only the strongest embedder tiers can bridge this.
+func Initialism(rate float64) Transform {
+	return Transform{Name: "initialism", Rate: rate, fn: func(v string, r *rand.Rand) string {
+		toks := strutil.Tokens(v)
+		if len(toks) < 2 {
+			return v
+		}
+		return strings.ToUpper(strutil.JoinInitials(v))
+	}}
+}
+
+// LexSynonym replaces a lexicon entity with one of its other surface forms
+// ("Canada" → "CA"). Values outside the lexicon pass through.
+func LexSynonym(rate float64) Transform {
+	return Transform{Name: "lex-synonym", Rate: rate, fn: func(v string, r *rand.Rand) string {
+		syns := lexicon.Full().SynonymsOf(v)
+		if len(syns) == 0 {
+			return v
+		}
+		return syns[r.Intn(len(syns))]
+	}}
+}
+
+// ReorderComma rewrites "<First> ... <Last>" as "<Last>, <First> ..." —
+// the person-name inversion ubiquitous in open data.
+func ReorderComma(rate float64) Transform {
+	return Transform{Name: "reorder-comma", Rate: rate, fn: func(v string, r *rand.Rand) string {
+		words := strings.Fields(v)
+		if len(words) < 2 {
+			return v
+		}
+		last := words[len(words)-1]
+		return last + ", " + strings.Join(words[:len(words)-1], " ")
+	}}
+}
+
+// PunctNoise swaps spaces for hyphens or drops existing punctuation.
+func PunctNoise(rate float64) Transform {
+	return Transform{Name: "punct-noise", Rate: rate, fn: func(v string, r *rand.Rand) string {
+		if r.Intn(2) == 0 {
+			return strings.ReplaceAll(v, " ", "-")
+		}
+		return strutil.StripPunct(v)
+	}}
+}
+
+// TruncateWord clips the longest token to a prefix with a trailing period
+// ("International" → "Intl." style truncation without lexicon knowledge).
+func TruncateWord(rate float64) Transform {
+	return Transform{Name: "truncate-word", Rate: rate, fn: func(v string, r *rand.Rand) string {
+		words := strings.Fields(v)
+		longest := -1
+		for i, w := range words {
+			if len(w) >= 7 && (longest < 0 || len(w) > len(words[longest])) {
+				longest = i
+			}
+		}
+		if longest < 0 {
+			return v
+		}
+		keep := 4 + r.Intn(2)
+		words[longest] = words[longest][:keep] + "."
+		return strings.Join(words, " ")
+	}}
+}
+
+// pipelineFor deterministically assembles the perturbation pipeline for
+// column k of an integration set. Column 0 is always canonical; later
+// columns combine noise families, with the synonym transform active only
+// for lexicon-backed topics (where codes/synonyms exist in reality).
+func pipelineFor(topic Topic, k int, r *rand.Rand) Pipeline {
+	if k == 0 {
+		return nil
+	}
+	var p Pipeline
+	if topic.FromLexicon {
+		p = append(p, LexSynonym(0.45))
+	}
+	// Draw 1-2 additional noise families per column.
+	families := []Transform{
+		Typo(0.35),
+		LowerCase(0.5),
+		UpperCase(0.4),
+		AbbrevTerms(0.6),
+		TruncateWord(0.4),
+		ReorderComma(0.5),
+		PunctNoise(0.35),
+		Initialism(0.2),
+	}
+	n := 1 + r.Intn(2)
+	perm := r.Perm(len(families))
+	for i := 0; i < n; i++ {
+		p = append(p, families[perm[i]])
+	}
+	return p
+}

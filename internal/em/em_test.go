@@ -1,0 +1,157 @@
+package em
+
+import (
+	"testing"
+
+	"fuzzyfd/internal/fd"
+	"fuzzyfd/internal/table"
+)
+
+func TestMatchRowsBasic(t *testing.T) {
+	tb := table.New("people", "name", "city")
+	tb.MustAppendRow(table.S("John Smith"), table.S("Boston"))
+	tb.MustAppendRow(table.S("Jon Smith"), table.S("Boston"))
+	tb.MustAppendRow(table.S("Alice Jones"), table.S("Toronto"))
+	clusters := MatchRows(tb, Options{})
+	if len(clusters) != 2 {
+		t.Fatalf("clusters=%v", clusters)
+	}
+	if len(clusters[0]) != 2 || clusters[0][0] != 0 || clusters[0][1] != 1 {
+		t.Errorf("first cluster=%v", clusters[0])
+	}
+}
+
+func TestMatchRowsNoFalseMerge(t *testing.T) {
+	tb := table.New("t", "name")
+	tb.MustAppendRow(table.S("Alpha Industries"))
+	tb.MustAppendRow(table.S("Beta Industries"))
+	// They share the token "industries" (blocked together) but the names
+	// differ enough to stay apart.
+	clusters := MatchRows(tb, Options{Threshold: 0.9})
+	if len(clusters) != 2 {
+		t.Errorf("clusters=%v", clusters)
+	}
+}
+
+func TestMatchRowsTransitive(t *testing.T) {
+	tb := table.New("t", "name")
+	tb.MustAppendRow(table.S("acme corporation"))
+	tb.MustAppendRow(table.S("acme corporatio"))
+	tb.MustAppendRow(table.S("acme corporati"))
+	clusters := MatchRows(tb, Options{Threshold: 0.95})
+	if len(clusters) != 1 {
+		t.Errorf("transitive closure failed: %v", clusters)
+	}
+}
+
+func TestMatchRowsNullHandling(t *testing.T) {
+	tb := table.New("t", "a", "b")
+	tb.MustAppendRow(table.S("acme"), table.Null())
+	tb.MustAppendRow(table.Null(), table.S("acme"))
+	// No common non-null column: similarity 0, never matched.
+	clusters := MatchRows(tb, Options{})
+	if len(clusters) != 2 {
+		t.Errorf("clusters=%v", clusters)
+	}
+}
+
+func TestMatchRowsColumnRestriction(t *testing.T) {
+	tb := table.New("t", "id", "name")
+	tb.MustAppendRow(table.S("1"), table.S("acme corp"))
+	tb.MustAppendRow(table.S("2"), table.S("acme corp"))
+	all := MatchRows(tb, Options{})
+	nameOnly := MatchRows(tb, Options{Columns: []int{1}})
+	if len(nameOnly) != 1 {
+		t.Errorf("name-only should merge: %v", nameOnly)
+	}
+	// With the conflicting id column included at default threshold the
+	// average drops; either outcome is acceptable but must be deterministic.
+	again := MatchRows(tb, Options{})
+	if len(all) != len(again) {
+		t.Error("non-deterministic clustering")
+	}
+}
+
+func TestRowSimilarity(t *testing.T) {
+	row := func(vals ...string) table.Row {
+		r := make(table.Row, len(vals))
+		for i, v := range vals {
+			if v == "" {
+				r[i] = table.Null()
+			} else {
+				r[i] = table.S(v)
+			}
+		}
+		return r
+	}
+	cols := []int{0, 1}
+	if got := rowSimilarity(row("a", "b"), row("a", "b"), cols); got != 1 {
+		t.Errorf("identical=%v", got)
+	}
+	if got := rowSimilarity(row("a", ""), row("", "b"), cols); got != 0 {
+		t.Errorf("disjoint=%v", got)
+	}
+	partial := rowSimilarity(row("acme", ""), row("acme", "x"), cols)
+	if partial != 1 {
+		t.Errorf("common-column-only=%v", partial)
+	}
+}
+
+// Build a small FD result by hand and check provenance-level evaluation.
+func TestEvaluate(t *testing.T) {
+	out := table.New("FD", "name", "city")
+	out.MustAppendRow(table.S("John Smith"), table.S("Boston"))
+	out.MustAppendRow(table.S("Jon Smith"), table.S("Boston"))
+	out.MustAppendRow(table.S("Alice Jones"), table.S("Toronto"))
+	res := &fd.Result{
+		Table: out,
+		Prov: [][]fd.TID{
+			{{Table: 0, Row: 0}, {Table: 1, Row: 0}}, // FD merged two inputs
+			{{Table: 2, Row: 0}},
+			{{Table: 0, Row: 1}},
+		},
+	}
+	gold := map[fd.TID]string{
+		{Table: 0, Row: 0}: "john",
+		{Table: 1, Row: 0}: "john",
+		{Table: 2, Row: 0}: "john", // the Jon Smith row is the same person
+		{Table: 0, Row: 1}: "alice",
+	}
+	m := Evaluate(res, gold, Options{})
+	// All 3 john tuples pair up (3 pairs), alice is alone: P=R=F1=1.
+	if m.Precision != 1 || m.Recall != 1 {
+		t.Errorf("metrics=%v", m)
+	}
+	if m.TP != 3 {
+		t.Errorf("TP=%d want 3", m.TP)
+	}
+}
+
+func TestEvaluateImperfect(t *testing.T) {
+	out := table.New("FD", "name")
+	out.MustAppendRow(table.S("acme"))
+	out.MustAppendRow(table.S("zeta"))
+	res := &fd.Result{
+		Table: out,
+		Prov: [][]fd.TID{
+			{{Table: 0, Row: 0}},
+			{{Table: 1, Row: 0}},
+		},
+	}
+	gold := map[fd.TID]string{
+		{Table: 0, Row: 0}: "e1",
+		{Table: 1, Row: 0}: "e1", // should have matched but strings differ
+	}
+	m := Evaluate(res, gold, Options{})
+	if m.Recall != 0 || m.FN != 1 {
+		t.Errorf("metrics=%+v", m)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := table.New("t", "a")
+	clusters := MatchRows(tb, Options{})
+	if len(clusters) != 0 {
+		t.Errorf("clusters=%v", clusters)
+	}
+}

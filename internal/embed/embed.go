@@ -1,0 +1,150 @@
+// Package embed turns cell values into fixed-dimension vectors so that
+// fuzzy-matching values land close in cosine distance — the role played by
+// the last hidden layer of FastText/BERT/RoBERTa/Llama3/Mistral in the
+// paper. Offline substitution (see DESIGN.md §3): each model tier is a
+// deterministic feature-hashing embedder; tiers differ in which string
+// features they extract and whether they consult the knowledge lexicon (the
+// stand-in for LLM world knowledge). Vectors are non-negative and
+// L2-normalized, so cosine distance lies in [0,1] exactly as the paper
+// assumes when thresholding at θ.
+package embed
+
+import (
+	"hash/fnv"
+	"math"
+	"sync"
+)
+
+// Vector is a dense, L2-normalized embedding.
+type Vector []float32
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b Vector) float64 {
+	var s float64
+	for i := range a {
+		s += float64(a[i]) * float64(b[i])
+	}
+	return s
+}
+
+// CosineDistance returns 1 − cos(a, b), clamped to [0, 1]. Signed feature
+// hashing keeps unrelated values near cosine 0 (distance ≈ 1); the clamp
+// folds the rare slightly-negative cosines of anti-correlated hash noise
+// into "maximally far", which is what thresholding needs.
+func CosineDistance(a, b Vector) float64 {
+	d := 1 - Dot(a, b)
+	if d < 0 {
+		return 0
+	}
+	if d > 1 {
+		return 1
+	}
+	return d
+}
+
+// Embedder maps a cell value to its vector. Implementations must be
+// deterministic and safe for concurrent use.
+type Embedder interface {
+	// Name identifies the model ("mistral", "bert", ...).
+	Name() string
+	// Dim is the vector dimensionality.
+	Dim() int
+	// Embed returns the embedding of value. Equal inputs yield equal
+	// vectors.
+	Embed(value string) Vector
+}
+
+// Distance is a convenience helper: the cosine distance between the
+// embeddings of two values under e. Identical strings are distance 0 by
+// definition, even for degenerate values (such as whitespace-only strings)
+// whose feature vectors are zero.
+func Distance(e Embedder, a, b string) float64 {
+	if a == b {
+		return 0
+	}
+	return CosineDistance(e.Embed(a), e.Embed(b))
+}
+
+// feature is one weighted string feature prior to hashing.
+type feature struct {
+	key    string
+	weight float64
+}
+
+// hashInto accumulates features into a vector by signed feature hashing
+// (FNV-1a: low bits pick the bucket, a high bit picks the sign) and
+// L2-normalizes the result. Signs make colliding features cancel in
+// expectation, so unrelated values sit near cosine 0 even in small
+// dimensions — smaller dims (the FastText tier) still carry a higher
+// collision-noise floor, which is the intended fidelity gradient.
+func hashInto(features []feature, dim int) Vector {
+	v := make(Vector, dim)
+	for _, f := range features {
+		h := fnv.New32a()
+		h.Write([]byte(f.key))
+		sum := h.Sum32()
+		w := float32(f.weight)
+		if sum&0x80000000 != 0 {
+			w = -w
+		}
+		v[sum%uint32(dim)] += w
+	}
+	var norm float64
+	for _, x := range v {
+		norm += float64(x) * float64(x)
+	}
+	if norm == 0 {
+		return v
+	}
+	inv := float32(1 / math.Sqrt(norm))
+	for i := range v {
+		v[i] *= inv
+	}
+	return v
+}
+
+// Warm embeds values concurrently so that later synchronous lookups hit
+// the model's cache. Embedders are required to be safe for concurrent use,
+// and the Model implementation memoizes per distinct value, so warming is
+// a pure speedup for the value-matching phase on large columns.
+func Warm(e Embedder, values []string, workers int) {
+	if workers < 2 || len(values) < 2*workers {
+		for _, v := range values {
+			e.Embed(v)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(values); i += workers {
+				e.Embed(values[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// cache is a concurrency-safe value→vector memo. Cell values repeat heavily
+// across rows, so embedding each distinct value once dominates in practice.
+type cache struct {
+	mu sync.RWMutex
+	m  map[string]Vector
+}
+
+func newCache() *cache { return &cache{m: make(map[string]Vector)} }
+
+func (c *cache) get(k string) (Vector, bool) {
+	c.mu.RLock()
+	v, ok := c.m[k]
+	c.mu.RUnlock()
+	return v, ok
+}
+
+func (c *cache) put(k string, v Vector) {
+	c.mu.Lock()
+	c.m[k] = v
+	c.mu.Unlock()
+}

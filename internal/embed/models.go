@@ -1,0 +1,162 @@
+package embed
+
+import (
+	"fmt"
+	"sort"
+
+	"fuzzyfd/internal/lexicon"
+)
+
+// Model names, in the order the paper's Table 1 lists them.
+const (
+	FastText = "fasttext"
+	BERT     = "bert"
+	RoBERTa  = "roberta"
+	Llama3   = "llama3"
+	Mistral  = "mistral"
+)
+
+// NewFastText returns the word-embedding tier: case-sensitive tokens plus
+// character n-grams in a small space. No world knowledge, no abbreviation
+// awareness — the weakest matcher in Table 1.
+func NewFastText() *Model {
+	return NewModel(FastText, Config{
+		Dim:         64,
+		Fold:        false,
+		WholeWeight: 1.0,
+		TokenWeight: 1.0,
+		NGramSizes:  []int{3, 4, 5},
+		NGramWeight: 0.5,
+	})
+}
+
+// NewBERT returns the pre-trained language model tier: case-folded tokens,
+// subword-style prefixes, and token-level abbreviation canonicalization.
+func NewBERT() *Model {
+	return NewModel(BERT, Config{
+		Dim:           128,
+		Fold:          true,
+		WholeWeight:   1.0,
+		TokenWeight:   1.0,
+		NGramSizes:    []int{3, 4},
+		NGramWeight:   0.5,
+		PrefixWeight:  0.35,
+		TokenSetShare: 0.2,
+		TermLexicon:   lexicon.Full(),
+		TermWeight:    0.8,
+	})
+}
+
+// NewRoBERTa returns the robustly-trained variant of the BERT tier: finer
+// character n-grams and a consonant-skeleton feature add typo robustness.
+func NewRoBERTa() *Model {
+	return NewModel(RoBERTa, Config{
+		Dim:           128,
+		Fold:          true,
+		WholeWeight:   1.0,
+		TokenWeight:   1.0,
+		NGramSizes:    []int{2, 3, 4},
+		NGramWeight:   0.5,
+		PrefixWeight:  0.4,
+		TokenSetShare: 0.2,
+		SkeletonShare: 0.2,
+		TermLexicon:   lexicon.Full(),
+		TermWeight:    0.8,
+	})
+}
+
+// NewLlama3 returns the first LLM tier: multi-scale n-grams, abbreviation
+// signatures, and a *partial* entity lexicon (1-in-6 entries missing),
+// modeling an 8B model's incomplete world knowledge.
+func NewLlama3() *Model {
+	return NewModel(Llama3, Config{
+		Dim:           256,
+		Fold:          true,
+		WholeWeight:   1.0,
+		TokenWeight:   1.0,
+		NGramSizes:    []int{2, 3, 4},
+		NGramWeight:   0.4,
+		PrefixWeight:  0.4,
+		SkeletonShare: 0.25,
+		TokenSetShare: 0.3,
+		AbbrevShare:   0.45,
+		TermLexicon:   lexicon.Full(),
+		TermWeight:    0.9,
+		ValueLexicon:  lexicon.Full().Thin(6),
+		LexiconShare:  1.8,
+	})
+}
+
+// MistralConfig returns the configuration of the strongest tier, so
+// callers can derive tuned variants (see NewTuned).
+func MistralConfig() Config {
+	return Config{
+		Dim:           256,
+		Fold:          true,
+		WholeWeight:   1.0,
+		TokenWeight:   1.0,
+		NGramSizes:    []int{2, 3, 4},
+		NGramWeight:   0.4,
+		PrefixWeight:  0.4,
+		SkeletonShare: 0.25,
+		TokenSetShare: 0.3,
+		AbbrevShare:   0.55,
+		PhoneticShare: 0.25,
+		TermLexicon:   lexicon.Full(),
+		TermWeight:    1.0,
+		ValueLexicon:  lexicon.Full(),
+		LexiconShare:  2.0,
+	}
+}
+
+// NewMistral returns the strongest tier (the model the paper adopts):
+// Llama3's features plus phonetic keys and the complete entity lexicon.
+func NewMistral() *Model {
+	return NewModel(Mistral, MistralConfig())
+}
+
+// NewTuned returns a Mistral-tier model with the entity-knowledge share
+// scaled by lexiconShare — the offline approximation of the paper's future
+// work ("finetuned models to better represent the column values"): a
+// finetuned value embedder concentrates more of its representation on
+// entity identity. lexiconShare 0 disables entity knowledge entirely.
+func NewTuned(lexiconShare float64) *Model {
+	cfg := MistralConfig()
+	cfg.LexiconShare = lexiconShare
+	if lexiconShare <= 0 {
+		cfg.ValueLexicon = nil
+		cfg.LexiconShare = 0
+	}
+	return NewModel(fmt.Sprintf("mistral-tuned-%.2g", lexiconShare), cfg)
+}
+
+// builders maps model names to constructors.
+var builders = map[string]func() *Model{
+	FastText: NewFastText,
+	BERT:     NewBERT,
+	RoBERTa:  NewRoBERTa,
+	Llama3:   NewLlama3,
+	Mistral:  NewMistral,
+}
+
+// New constructs the named model ("fasttext", "bert", "roberta", "llama3",
+// "mistral").
+func New(name string) (*Model, error) {
+	b, ok := builders[name]
+	if !ok {
+		return nil, fmt.Errorf("embed: unknown model %q (have %v)", name, ModelNames())
+	}
+	return b(), nil
+}
+
+// ModelNames returns the available model names sorted in Table 1 order
+// (weakest first).
+func ModelNames() []string {
+	order := map[string]int{FastText: 0, BERT: 1, RoBERTa: 2, Llama3: 3, Mistral: 4}
+	names := make([]string, 0, len(builders))
+	for n := range builders {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return order[names[i]] < order[names[j]] })
+	return names
+}

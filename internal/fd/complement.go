@@ -1,0 +1,216 @@
+package fd
+
+import (
+	"sort"
+	"sync"
+
+	"fuzzyfd/internal/table"
+)
+
+// postingIndex is an inverted index from (output column, value) to the
+// tuples holding that value. Complementation candidates must share at least
+// one equal non-null value, so scanning a tuple's posting lists enumerates
+// exactly the connected pairs.
+type postingIndex struct {
+	byCol []map[string][]int
+}
+
+func newPostingIndex(nCols int) *postingIndex {
+	idx := &postingIndex{byCol: make([]map[string][]int, nCols)}
+	for i := range idx.byCol {
+		idx.byCol[i] = make(map[string][]int)
+	}
+	return idx
+}
+
+func (idx *postingIndex) add(tupleID int, cells []table.Cell) {
+	for c, cell := range cells {
+		if !cell.IsNull {
+			idx.byCol[c][cell.Val] = append(idx.byCol[c][cell.Val], tupleID)
+		}
+	}
+}
+
+// stampSet deduplicates candidate IDs in O(1) per probe using epoch
+// stamping: marks[j] == epoch means j was already seen this round. Growing
+// and re-zeroing a map per tuple dominated Full Disjunction runtime on
+// low-selectivity columns; the stamp array removes that cost.
+type stampSet struct {
+	marks []uint32
+	epoch uint32
+}
+
+// next starts a new deduplication round, growing the mark array to size n.
+func (s *stampSet) next(n int) {
+	if len(s.marks) < n {
+		s.marks = append(s.marks, make([]uint32, n-len(s.marks))...)
+	}
+	s.epoch++
+	if s.epoch == 0 { // wrapped: clear and restart
+		for i := range s.marks {
+			s.marks[i] = 0
+		}
+		s.epoch = 1
+	}
+}
+
+func (s *stampSet) seen(j int) bool {
+	if s.marks[j] == s.epoch {
+		return true
+	}
+	s.marks[j] = s.epoch
+	return false
+}
+
+// candidates calls fn for every tuple sharing an equal non-null value with
+// cells, deduplicated, excluding self.
+func (idx *postingIndex) candidates(self int, cells []table.Cell, seen *stampSet, fn func(j int)) {
+	for c, cell := range cells {
+		if cell.IsNull {
+			continue
+		}
+		for _, j := range idx.byCol[c][cell.Val] {
+			if j == self || seen.seen(j) {
+				continue
+			}
+			fn(j)
+		}
+	}
+}
+
+// complementSequential closes tuples under pairwise complementation using a
+// worklist. New merged tuples are appended to *tuples and indexed, so
+// merges compose transitively until fixpoint.
+func complementSequential(tuples *[]Tuple, sigIdx map[string]int, nCols int, opts Options, stats *Stats) error {
+	ts := *tuples
+	idx := newPostingIndex(nCols)
+	for i := range ts {
+		idx.add(i, ts[i].Cells)
+	}
+	queue := make([]int, len(ts))
+	for i := range queue {
+		queue[i] = i
+	}
+	var scratch stampSet
+
+	for len(queue) > 0 {
+		i := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+
+		scratch.next(len(ts))
+		var newIDs []int
+		idx.candidates(i, ts[i].Cells, &scratch, func(j int) {
+			stats.MergeAttempts++
+			merged, ok := tryMerge(ts[i].Cells, ts[j].Cells)
+			if !ok {
+				return
+			}
+			sig := signature(merged)
+			if at, exists := sigIdx[sig]; exists {
+				ts[at].Prov = mergeProv(ts[at].Prov, mergeProv(ts[i].Prov, ts[j].Prov))
+				return
+			}
+			stats.Merges++
+			id := len(ts)
+			sigIdx[sig] = id
+			ts = append(ts, Tuple{Cells: merged, Prov: mergeProv(ts[i].Prov, ts[j].Prov)})
+			newIDs = append(newIDs, id)
+		})
+		for _, id := range newIDs {
+			idx.add(id, ts[id].Cells)
+			queue = append(queue, id)
+		}
+		if opts.MaxTuples > 0 && len(ts) > opts.MaxTuples {
+			return ErrTupleBudget
+		}
+	}
+	*tuples = ts
+	return nil
+}
+
+// complementParallel is the round-based parallel variant (after Paganelli
+// et al.): each round, a frontier of unprocessed tuples is partitioned
+// across workers that read a shared snapshot of the tuple store and index
+// and emit merge proposals; the coordinator then deduplicates proposals in
+// deterministic (signature) order and builds the next frontier. The final
+// closure is identical to the sequential algorithm's.
+func complementParallel(tuples *[]Tuple, sigIdx map[string]int, nCols int, opts Options, stats *Stats) error {
+	ts := *tuples
+	idx := newPostingIndex(nCols)
+	for i := range ts {
+		idx.add(i, ts[i].Cells)
+	}
+	frontier := make([]int, len(ts))
+	for i := range frontier {
+		frontier[i] = i
+	}
+
+	type proposal struct {
+		sig   string
+		cells []table.Cell
+		prov  []TID
+	}
+
+	for len(frontier) > 0 {
+		workers := opts.Workers
+		if workers > len(frontier) {
+			workers = len(frontier)
+		}
+		results := make([][]proposal, workers)
+		attempts := make([]int, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				var scratch stampSet
+				var out []proposal
+				for fi := w; fi < len(frontier); fi += workers {
+					i := frontier[fi]
+					scratch.next(len(ts))
+					idx.candidates(i, ts[i].Cells, &scratch, func(j int) {
+						attempts[w]++
+						merged, ok := tryMerge(ts[i].Cells, ts[j].Cells)
+						if !ok {
+							return
+						}
+						out = append(out, proposal{
+							sig:   signature(merged),
+							cells: merged,
+							prov:  mergeProv(ts[i].Prov, ts[j].Prov),
+						})
+					})
+				}
+				results[w] = out
+			}(w)
+		}
+		wg.Wait()
+
+		var all []proposal
+		for w, r := range results {
+			stats.MergeAttempts += attempts[w]
+			all = append(all, r...)
+		}
+		// Deterministic apply order regardless of worker scheduling.
+		sort.Slice(all, func(a, b int) bool { return all[a].sig < all[b].sig })
+
+		frontier = frontier[:0]
+		for _, p := range all {
+			if at, exists := sigIdx[p.sig]; exists {
+				ts[at].Prov = mergeProv(ts[at].Prov, p.prov)
+				continue
+			}
+			stats.Merges++
+			id := len(ts)
+			sigIdx[p.sig] = id
+			ts = append(ts, Tuple{Cells: p.cells, Prov: p.prov})
+			idx.add(id, p.cells)
+			frontier = append(frontier, id)
+		}
+		if opts.MaxTuples > 0 && len(ts) > opts.MaxTuples {
+			return ErrTupleBudget
+		}
+	}
+	*tuples = ts
+	return nil
+}

@@ -1,0 +1,296 @@
+// Package fd implements the Full Disjunction operator — the associative
+// extension of the outer join that integrates a set of tables maximally and
+// without redundancy (Galindo-Legaria 1994; Rajaraman & Ullman 1996). The
+// algorithm is the one ALITE uses (Khatiwada et al., VLDB 2022): project
+// every input tuple onto the integrated schema (outer union), close the
+// result under pairwise complementation (merge tuples that are consistent
+// and connected), and remove subsumed tuples so only maximal integration
+// results remain.
+//
+// Tuples carry provenance (the set of input tuple IDs they integrate), so
+// downstream tasks such as entity matching can trace every output row back
+// to its sources. When a subsumed tuple is removed its provenance is folded
+// into a subsuming tuple, preserving FD's guarantee that every input tuple
+// is represented in the output.
+package fd
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"fuzzyfd/internal/table"
+)
+
+// TID identifies an input tuple: table index within the integration set and
+// row index within that table.
+type TID struct {
+	Table, Row int
+}
+
+// String renders a TID like "t2.14".
+func (t TID) String() string { return fmt.Sprintf("t%d.%d", t.Table, t.Row) }
+
+// Tuple is one (possibly merged) tuple over the integrated schema.
+type Tuple struct {
+	Cells []table.Cell
+	Prov  []TID // sorted, unique
+}
+
+// signature is the canonical cell-value key used for deduplication and
+// deterministic ordering. Provenance is deliberately excluded: FD output is
+// a set of value tuples.
+func signature(cells []table.Cell) string {
+	var sb strings.Builder
+	for _, c := range cells {
+		if c.IsNull {
+			sb.WriteString("\x00N")
+		} else {
+			sb.WriteString("\x00V")
+			sb.WriteString(c.Val)
+		}
+	}
+	return sb.String()
+}
+
+// Schema maps each input table's columns onto the integrated (output)
+// schema. Mapping[t][c] is the output column index for column c of table t;
+// every output column collects at most one column per table (aligned
+// columns from different tables share an output index).
+type Schema struct {
+	Columns []string
+	Mapping [][]int
+}
+
+// IdentitySchema builds a Schema by aligning columns with identical names
+// across tables — the baseline when headers are reliable. Output columns
+// appear in first-seen order.
+func IdentitySchema(tables []*table.Table) Schema {
+	var s Schema
+	index := make(map[string]int)
+	s.Mapping = make([][]int, len(tables))
+	for ti, t := range tables {
+		s.Mapping[ti] = make([]int, len(t.Columns))
+		for ci, name := range t.Columns {
+			at, ok := index[name]
+			if !ok {
+				at = len(s.Columns)
+				index[name] = at
+				s.Columns = append(s.Columns, name)
+			}
+			s.Mapping[ti][ci] = at
+		}
+	}
+	return s
+}
+
+// Validate checks that the schema is structurally sound for the given
+// tables: mapping shape matches, output indices are in range, and no two
+// columns of the same table map to the same output column.
+func (s Schema) Validate(tables []*table.Table) error {
+	if len(s.Mapping) != len(tables) {
+		return fmt.Errorf("fd: schema maps %d tables, integration set has %d", len(s.Mapping), len(tables))
+	}
+	for ti, t := range tables {
+		if len(s.Mapping[ti]) != len(t.Columns) {
+			return fmt.Errorf("fd: schema maps %d columns for table %q, table has %d", len(s.Mapping[ti]), t.Name, len(t.Columns))
+		}
+		seen := make(map[int]int)
+		for ci, out := range s.Mapping[ti] {
+			if out < 0 || out >= len(s.Columns) {
+				return fmt.Errorf("fd: table %q column %d maps to out-of-range output column %d", t.Name, ci, out)
+			}
+			if prev, dup := seen[out]; dup {
+				return fmt.Errorf("fd: table %q columns %d and %d both map to output column %d", t.Name, prev, ci, out)
+			}
+			seen[out] = ci
+		}
+	}
+	return nil
+}
+
+// Options tunes the Full Disjunction computation.
+type Options struct {
+	// Workers > 1 enables the round-based parallel complementation
+	// (Paganelli et al. 2019 style). 0 or 1 runs sequentially.
+	Workers int
+	// MaxTuples aborts the computation if the closure exceeds this many
+	// tuples (a safety valve against pathological join blowup). 0 means
+	// unlimited.
+	MaxTuples int
+}
+
+// ErrTupleBudget is returned when the closure exceeds Options.MaxTuples.
+var ErrTupleBudget = errors.New("fd: tuple budget exceeded")
+
+// Stats reports the work done by one Full Disjunction computation.
+type Stats struct {
+	InputTuples   int
+	OuterUnion    int // tuples after outer union + dedup
+	Merges        int // successful complementation merges
+	MergeAttempts int // candidate pairs tested
+	Closure       int // tuples after complementation closure
+	Subsumed      int // tuples removed by subsumption
+	Output        int
+	Elapsed       time.Duration
+}
+
+// Result is an integrated table plus per-row provenance and statistics.
+type Result struct {
+	Table *table.Table
+	Prov  [][]TID
+	Stats Stats
+}
+
+// FullDisjunction integrates the tables under the given schema. The output
+// rows are sorted by cell signature, so results are deterministic and
+// directly comparable across algorithm variants.
+func FullDisjunction(tables []*table.Table, schema Schema, opts Options) (*Result, error) {
+	start := time.Now()
+	if err := schema.Validate(tables); err != nil {
+		return nil, err
+	}
+	var stats Stats
+	for _, t := range tables {
+		stats.InputTuples += len(t.Rows)
+	}
+
+	tuples, sigIdx := outerUnion(tables, schema)
+	stats.OuterUnion = len(tuples)
+
+	var err error
+	if opts.Workers > 1 {
+		err = complementParallel(&tuples, sigIdx, len(schema.Columns), opts, &stats)
+	} else {
+		err = complementSequential(&tuples, sigIdx, len(schema.Columns), opts, &stats)
+	}
+	if err != nil {
+		return nil, err
+	}
+	stats.Closure = len(tuples)
+
+	kept := subsume(tuples, len(schema.Columns))
+	stats.Subsumed = stats.Closure - len(kept)
+	stats.Output = len(kept)
+
+	sort.Slice(kept, func(i, j int) bool {
+		return signature(kept[i].Cells) < signature(kept[j].Cells)
+	})
+
+	out := table.New("FD", schema.Columns...)
+	prov := make([][]TID, len(kept))
+	for i, tp := range kept {
+		out.Rows = append(out.Rows, table.Row(tp.Cells))
+		prov[i] = tp.Prov
+	}
+	stats.Elapsed = time.Since(start)
+	return &Result{Table: out, Prov: prov, Stats: stats}, nil
+}
+
+// outerUnion projects every input row onto the integrated schema and
+// deduplicates by cell signature, unioning provenance.
+func outerUnion(tables []*table.Table, schema Schema) ([]Tuple, map[string]int) {
+	var tuples []Tuple
+	sigIdx := make(map[string]int)
+	for ti, t := range tables {
+		for ri, row := range t.Rows {
+			cells := make([]table.Cell, len(schema.Columns))
+			for i := range cells {
+				cells[i] = table.Null()
+			}
+			for ci, cell := range row {
+				cells[schema.Mapping[ti][ci]] = cell
+			}
+			sig := signature(cells)
+			tid := TID{Table: ti, Row: ri}
+			if at, ok := sigIdx[sig]; ok {
+				tuples[at].Prov = mergeProv(tuples[at].Prov, []TID{tid})
+				continue
+			}
+			sigIdx[sig] = len(tuples)
+			tuples = append(tuples, Tuple{Cells: cells, Prov: []TID{tid}})
+		}
+	}
+	return tuples, sigIdx
+}
+
+// mergeProv unions two sorted TID slices.
+func mergeProv(a, b []TID) []TID {
+	out := make([]TID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case tidLess(a[i], b[j]):
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+func tidLess(a, b TID) bool {
+	if a.Table != b.Table {
+		return a.Table < b.Table
+	}
+	return a.Row < b.Row
+}
+
+// tryMerge merges two tuples if they are consistent (no attribute holds two
+// different non-null values) and connected (at least one attribute is
+// non-null and equal in both). Returns the merged cells and true on
+// success.
+func tryMerge(a, b []table.Cell) ([]table.Cell, bool) {
+	connected := false
+	for i := range a {
+		if a[i].IsNull || b[i].IsNull {
+			continue
+		}
+		if a[i].Val != b[i].Val {
+			return nil, false
+		}
+		connected = true
+	}
+	if !connected {
+		return nil, false
+	}
+	out := make([]table.Cell, len(a))
+	for i := range a {
+		if a[i].IsNull {
+			out[i] = b[i]
+		} else {
+			out[i] = a[i]
+		}
+	}
+	return out, true
+}
+
+// subsumes reports whether u strictly subsumes t: every non-null cell of t
+// appears identically in u, and u carries strictly more information (more
+// non-null cells; equal-information duplicates are already removed by
+// signature dedup).
+func subsumes(u, t []table.Cell) bool {
+	extra := false
+	for i := range t {
+		if t[i].IsNull {
+			if !u[i].IsNull {
+				extra = true
+			}
+			continue
+		}
+		if u[i].IsNull || u[i].Val != t[i].Val {
+			return false
+		}
+	}
+	return extra
+}

@@ -1,0 +1,147 @@
+package fd
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fuzzyfd/internal/table"
+)
+
+func drain(it *Iterator) []Tuple {
+	var out []Tuple
+	for {
+		t, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, t)
+	}
+}
+
+func TestIteratorFig1(t *testing.T) {
+	tables := fig1Fuzzy()
+	it, err := NewIterator(tables, IdentitySchema(tables), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(it)
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	if len(got) != 5 {
+		t.Fatalf("iterator yielded %d tuples, want 5", len(got))
+	}
+	// Fig. 1 fuzzy splits into per-city components (New Delhi alone,
+	// Boston+US, ...): at least 4 independent components.
+	if it.Components() < 4 {
+		t.Errorf("components=%d", it.Components())
+	}
+}
+
+// The streamed result must equal the batch result's cells on any input.
+func TestIteratorMatchesBatch(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tables := randomTables(r)
+		schema := IdentitySchema(tables)
+		it, err := NewIterator(tables, schema, Options{})
+		if err != nil {
+			return false
+		}
+		streamed := drain(it)
+		if it.Err() != nil {
+			return false
+		}
+		batch, err := FullDisjunction(tables, schema, Options{})
+		if err != nil {
+			return false
+		}
+		if len(streamed) != batch.Table.NumRows() {
+			t.Logf("seed %d: streamed %d vs batch %d", seed, len(streamed), batch.Table.NumRows())
+			return false
+		}
+		stream := table.New("FD", schema.Columns...)
+		for _, tp := range streamed {
+			stream.Rows = append(stream.Rows, table.Row(tp.Cells))
+		}
+		return stream.EqualRowsUnordered(batch.Table)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIteratorBudgetError(t *testing.T) {
+	tables := fig1Fuzzy()
+	it, err := NewIterator(tables, IdentitySchema(tables), Options{MaxTuples: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(it)
+	if !errors.Is(it.Err(), ErrTupleBudget) {
+		t.Errorf("want ErrTupleBudget, got %v", it.Err())
+	}
+}
+
+func TestIteratorEmpty(t *testing.T) {
+	empty := table.New("e", "a")
+	it, err := NewIterator([]*table.Table{empty}, IdentitySchema([]*table.Table{empty}), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(it); len(got) != 0 {
+		t.Errorf("empty input yielded %d tuples", len(got))
+	}
+	if it.Components() != 0 {
+		t.Errorf("components=%d", it.Components())
+	}
+}
+
+func TestIteratorSchemaError(t *testing.T) {
+	tables := fig1Fuzzy()
+	bad := IdentitySchema(tables)
+	bad.Mapping[0][0] = 99
+	if _, err := NewIterator(tables, bad, Options{}); err == nil {
+		t.Error("invalid schema accepted")
+	}
+}
+
+// Streaming should give first results without closing later components:
+// construct two components where the second would blow the budget, and
+// confirm the first component's tuples arrive before the error.
+func TestIteratorStreamsBeforeFailure(t *testing.T) {
+	// Component 1 (emitted first — tuples with leading nulls sort ahead):
+	// a single self-contained pair on the trailing columns.
+	t1 := table.New("t1", "d", "e")
+	t1.MustAppendRow(table.S("k1"), table.S("x"))
+	t2 := table.New("t2", "d", "f")
+	t2.MustAppendRow(table.S("k1"), table.S("y"))
+	// Component 2: enough joinable rows on the leading columns to exceed
+	// MaxTuples=4.
+	t3 := table.New("t3", "a", "b")
+	t4 := table.New("t4", "a", "c")
+	for i := 0; i < 4; i++ {
+		t3.MustAppendRow(table.S("k2"), table.S(string(rune('p'+i))))
+		t4.MustAppendRow(table.S("k2"), table.S(string(rune('u'+i))))
+	}
+	// The big tables go first so the schema leads with their columns: the
+	// pair component's tuples then start with nulls and sort (emit) first.
+	tables := []*table.Table{t3, t4, t1, t2}
+	it, err := NewIterator(tables, IdentitySchema(tables), Options{MaxTuples: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, ok := it.Next()
+	if !ok {
+		t.Fatalf("no first tuple (err=%v)", it.Err())
+	}
+	if di := 3; first.Cells[di].IsNull || first.Cells[di].Val != "k1" {
+		t.Errorf("first tuple=%v", first.Cells)
+	}
+	drain(it)
+	if !errors.Is(it.Err(), ErrTupleBudget) {
+		t.Errorf("want ErrTupleBudget from the big component, got %v", it.Err())
+	}
+}

@@ -1,0 +1,163 @@
+package fd
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fuzzyfd/internal/table"
+)
+
+// On the Fig. 1 tables (fuzzy-rewritten), the inner join keeps only the
+// tuples joinable across all three tables: Berlin and Barcelona.
+func TestInnerJoinFig1(t *testing.T) {
+	tables := fig1Fuzzy()
+	res, err := InnerJoin(tables, IdentitySchema(tables), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() != 2 {
+		t.Fatalf("inner join rows=%d want 2\n%v", res.Table.NumRows(), res.Table)
+	}
+	cities := map[string]bool{}
+	ci := res.Table.ColumnIndex("City")
+	for _, row := range res.Table.Rows {
+		cities[row[ci].Val] = true
+	}
+	if !cities["Berlin"] || !cities["Barcelona"] {
+		t.Errorf("cities=%v", cities)
+	}
+	// Coverage drops: New Delhi, Toronto, Boston tuples are lost.
+	if c := Coverage(res, tables); c >= 1 {
+		t.Errorf("inner join coverage=%v, should lose tuples", c)
+	}
+}
+
+func TestOuterUnionOnlyFig1(t *testing.T) {
+	tables := fig1Fuzzy()
+	res, err := OuterUnionOnly(tables, IdentitySchema(tables))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nothing combined: one row per input tuple (no duplicates here).
+	if res.Table.NumRows() != 11 {
+		t.Errorf("outer union rows=%d want 11", res.Table.NumRows())
+	}
+	if c := Coverage(res, tables); c != 1 {
+		t.Errorf("outer union coverage=%v want 1", c)
+	}
+	// Fragmented: more nulls per row than FD's output.
+	full, err := FullDisjunction(tables, IdentitySchema(tables), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if NullFraction(res) <= NullFraction(full) {
+		t.Errorf("outer union null fraction %v should exceed FD's %v", NullFraction(res), NullFraction(full))
+	}
+}
+
+// Order dependence of binary outer joins: the paper's reason FD exists.
+// Build the classic instance where joining in different orders yields
+// different results.
+func TestOuterJoinChainOrderDependence(t *testing.T) {
+	// R(a,b)={(1,2)}, S(b,c)={(2,3)}, T(a,c)={(1,9)}.
+	r := table.New("R", "a", "b")
+	r.MustAppendRow(table.S("1"), table.S("2"))
+	s := table.New("S", "b", "c")
+	s.MustAppendRow(table.S("2"), table.S("3"))
+	u := table.New("T", "a", "c")
+	u.MustAppendRow(table.S("1"), table.S("9"))
+	tables := []*table.Table{r, s, u}
+	schema := IdentitySchema(tables)
+
+	// (R ⟗ S) ⟗ T: R and S join to (1,2,3); conflicting with T on c → T
+	// dangles.
+	res1, err := OuterJoinChain(tables, schema, []int{0, 1, 2}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (R ⟗ T) ⟗ S: R and T join to (1,2,9); conflicting with S on c → S
+	// dangles.
+	res2, err := OuterJoinChain(tables, schema, []int{0, 2, 1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Table.EqualRowsUnordered(res2.Table) {
+		t.Errorf("different orders should differ:\n%v\n%v", res1.Table, res2.Table)
+	}
+}
+
+func TestOuterJoinChainBadOrder(t *testing.T) {
+	tables := fig1Fuzzy()
+	if _, err := OuterJoinChain(tables, IdentitySchema(tables), []int{0}, Options{}); err == nil {
+		t.Error("short order accepted")
+	}
+}
+
+func TestInnerJoinBudget(t *testing.T) {
+	tables := fig1Fuzzy()
+	if _, err := InnerJoin(tables, IdentitySchema(tables), Options{MaxTuples: 1}); !errors.Is(err, ErrTupleBudget) {
+		t.Errorf("want ErrTupleBudget, got %v", err)
+	}
+}
+
+// Information-preservation ordering on random inputs: inner join covers a
+// subset of the input tuples; outer union and FD cover all of them; and
+// every inner-join row must appear in (or be subsumed by) an FD row.
+func TestOperatorHierarchy(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tables := randomTables(r)
+		schema := IdentitySchema(tables)
+
+		inner, err := InnerJoin(tables, schema, Options{})
+		if err != nil {
+			return false
+		}
+		union, err := OuterUnionOnly(tables, schema)
+		if err != nil {
+			return false
+		}
+		full, err := FullDisjunction(tables, schema, Options{})
+		if err != nil {
+			return false
+		}
+		if Coverage(union, tables) != 1 || Coverage(full, tables) != 1 {
+			return false
+		}
+		if Coverage(inner, tables) > 1 {
+			return false
+		}
+		for _, row := range inner.Table.Rows {
+			covered := false
+			for _, frow := range full.Table.Rows {
+				if rowsEqual(row, frow) || subsumes(frow, row) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoverageAndNullFractionEdge(t *testing.T) {
+	empty := table.New("e", "a")
+	res, err := OuterUnionOnly([]*table.Table{empty}, IdentitySchema([]*table.Table{empty}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Coverage(res, []*table.Table{empty}) != 1 {
+		t.Error("empty input coverage should be 1")
+	}
+	if NullFraction(res) != 0 {
+		t.Error("empty result null fraction should be 0")
+	}
+}

@@ -1,0 +1,94 @@
+package fd
+
+import "sort"
+
+// subsume removes every tuple strictly subsumed by another (minimal-union
+// semantics), folding the provenance of each removed tuple into one of its
+// subsumers so every input TID stays represented in the output.
+//
+// A subsumer must agree on every non-null cell of the subsumed tuple, so it
+// necessarily appears in the posting list of any of the subsumed tuple's
+// values; scanning the tuple's rarest posting list therefore finds all
+// potential subsumers without a quadratic pass.
+func subsume(tuples []Tuple, nCols int) []Tuple {
+	if len(tuples) <= 1 {
+		return tuples
+	}
+	idx := newPostingIndex(nCols)
+	for i := range tuples {
+		idx.add(i, tuples[i].Cells)
+	}
+
+	nonNulls := make([]int, len(tuples))
+	for i := range tuples {
+		for _, c := range tuples[i].Cells {
+			if !c.IsNull {
+				nonNulls[i]++
+			}
+		}
+	}
+
+	// subsumer[i] is the chosen subsumer of dropped tuple i, or -1.
+	subsumer := make([]int, len(tuples))
+	for i := range tuples {
+		subsumer[i] = -1
+		cells := tuples[i].Cells
+
+		// Scan the rarest posting list of i's non-null values.
+		best := -1
+		bestLen := 0
+		for c, cell := range cells {
+			if cell.IsNull {
+				continue
+			}
+			l := len(idx.byCol[c][cell.Val])
+			if best < 0 || l < bestLen {
+				best = c
+				bestLen = l
+			}
+		}
+		if best < 0 {
+			// All-null tuple: subsumed by any tuple with information. Such
+			// tuples only arise from fully-empty input rows.
+			for j := range tuples {
+				if j != i && nonNulls[j] > 0 {
+					subsumer[i] = j
+					break
+				}
+			}
+			continue
+		}
+		for _, j := range idx.byCol[best][cells[best].Val] {
+			if j == i || !subsumes(tuples[j].Cells, cells) {
+				continue
+			}
+			// Deterministic choice: the most informative subsumer, ties by
+			// signature order.
+			if subsumer[i] < 0 || nonNulls[j] > nonNulls[subsumer[i]] ||
+				(nonNulls[j] == nonNulls[subsumer[i]] && signature(tuples[j].Cells) < signature(tuples[subsumer[i]].Cells)) {
+				subsumer[i] = j
+			}
+		}
+	}
+
+	// Fold provenance along subsumption chains, processing least-informative
+	// tuples first so provenance propagates to the surviving maximal tuples.
+	order := make([]int, len(tuples))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return nonNulls[order[a]] < nonNulls[order[b]] })
+	for _, i := range order {
+		if s := subsumer[i]; s >= 0 {
+			tuples[s].Prov = mergeProv(tuples[s].Prov, tuples[i].Prov)
+		}
+	}
+
+	kept := make([]Tuple, 0, len(tuples))
+	for i := range tuples {
+		if subsumer[i] < 0 {
+			kept = append(kept, tuples[i])
+		}
+	}
+	return kept
+}

@@ -1,0 +1,353 @@
+package lexicon
+
+// This file holds the built-in knowledge base. Entry IDs are namespaced
+// ("country/...", "state/...") so generators can draw per-topic
+// vocabularies with EntriesWithPrefix.
+
+func ent(id, canonical string, syns ...string) Entry {
+	return Entry{ID: id, Canonical: canonical, Synonyms: syns}
+}
+
+func builtinEntries() []Entry {
+	var es []Entry
+	es = append(es, countryEntries()...)
+	es = append(es, stateEntries()...)
+	es = append(es, monthEntries()...)
+	es = append(es, weekdayEntries()...)
+	es = append(es, currencyEntries()...)
+	es = append(es, elementEntries()...)
+	es = append(es, languageEntries()...)
+	es = append(es, organizationEntries()...)
+	es = append(es, metroEntries()...)
+	return es
+}
+
+// organizationEntries covers well-known organizations and institutions
+// commonly written as initialisms in open data.
+func organizationEntries() []Entry {
+	return []Entry{
+		ent("org/un", "United Nations", "UN", "U.N."),
+		ent("org/eu", "European Union", "EU", "E.U."),
+		ent("org/nato", "North Atlantic Treaty Organization", "NATO"),
+		ent("org/who", "World Health Organization", "WHO", "W.H.O."),
+		ent("org/unesco", "United Nations Educational Scientific and Cultural Organization", "UNESCO"),
+		ent("org/unicef", "United Nations Children's Fund", "UNICEF"),
+		ent("org/imf", "International Monetary Fund", "IMF"),
+		ent("org/wto", "World Trade Organization", "WTO"),
+		ent("org/oecd", "Organisation for Economic Co-operation and Development", "OECD"),
+		ent("org/opec", "Organization of the Petroleum Exporting Countries", "OPEC"),
+		ent("org/nasa", "National Aeronautics and Space Administration", "NASA"),
+		ent("org/esa", "European Space Agency", "ESA"),
+		ent("org/fbi", "Federal Bureau of Investigation", "FBI"),
+		ent("org/cia", "Central Intelligence Agency", "CIA"),
+		ent("org/epa", "Environmental Protection Agency", "EPA"),
+		ent("org/fda", "Food and Drug Administration", "FDA"),
+		ent("org/cdc", "Centers for Disease Control and Prevention", "CDC"),
+		ent("org/irs", "Internal Revenue Service", "IRS"),
+		ent("org/sec", "Securities and Exchange Commission", "SEC"),
+		ent("org/faa", "Federal Aviation Administration", "FAA"),
+		ent("org/mit", "Massachusetts Institute of Technology", "MIT"),
+		ent("org/ucla", "University of California Los Angeles", "UCLA"),
+		ent("org/nyu", "New York University", "NYU"),
+		ent("org/usc", "University of Southern California", "USC"),
+		ent("org/icrc", "International Committee of the Red Cross", "ICRC", "Red Cross"),
+		ent("org/interpol", "International Criminal Police Organization", "Interpol", "ICPO"),
+	}
+}
+
+// metroEntries covers major cities with their common short forms.
+func metroEntries() []Entry {
+	return []Entry{
+		ent("metro/nyc", "New York City", "NYC", "New York"),
+		ent("metro/la", "Los Angeles", "LA", "L.A."),
+		ent("metro/sf", "San Francisco", "SF", "San Fran", "Frisco"),
+		ent("metro/dc", "Washington DC", "DC", "D.C.", "Washington D.C."),
+		ent("metro/philly", "Philadelphia", "Philly"),
+		ent("metro/vegas", "Las Vegas", "Vegas"),
+		ent("metro/nola", "New Orleans", "NOLA"),
+		ent("metro/slc", "Salt Lake City", "SLC"),
+		ent("metro/okc", "Oklahoma City", "OKC"),
+		ent("metro/atl", "Atlanta", "ATL"),
+		ent("metro/chi", "Chicago", "Chi-town"),
+		ent("metro/rio", "Rio de Janeiro", "Rio"),
+		ent("metro/bsas", "Buenos Aires", "B.A."),
+		ent("metro/kl", "Kuala Lumpur", "KL"),
+		ent("metro/hk", "Hong Kong", "HK"),
+		ent("metro/st-petersburg", "Saint Petersburg", "St. Petersburg", "St Petersburg"),
+		ent("metro/mexico-city", "Mexico City", "CDMX", "Ciudad de México"),
+	}
+}
+
+// countryEntries covers the countries used by the benchmark generators,
+// each with ISO 3166 alpha-2 and alpha-3 codes and common alternate names.
+func countryEntries() []Entry {
+	return []Entry{
+		ent("country/canada", "Canada", "CA", "CAN"),
+		ent("country/usa", "United States", "US", "USA", "United States of America", "America"),
+		ent("country/germany", "Germany", "DE", "DEU", "Deutschland"),
+		ent("country/spain", "Spain", "ES", "ESP", "España"),
+		ent("country/india", "India", "IN", "IND"),
+		ent("country/france", "France", "FR", "FRA"),
+		ent("country/italy", "Italy", "IT", "ITA", "Italia"),
+		ent("country/japan", "Japan", "JP", "JPN", "Nippon"),
+		ent("country/china", "China", "CN", "CHN"),
+		ent("country/brazil", "Brazil", "BR", "BRA", "Brasil"),
+		ent("country/mexico", "Mexico", "MX", "MEX", "México"),
+		ent("country/uk", "United Kingdom", "GB", "GBR", "UK", "Great Britain", "Britain"),
+		ent("country/australia", "Australia", "AU", "AUS"),
+		ent("country/netherlands", "Netherlands", "NL", "NLD", "Holland"),
+		ent("country/switzerland", "Switzerland", "CH", "CHE"),
+		ent("country/sweden", "Sweden", "SE", "SWE"),
+		ent("country/norway", "Norway", "NO", "NOR"),
+		ent("country/denmark", "Denmark", "DK", "DNK"),
+		ent("country/finland", "Finland", "FI", "FIN"),
+		ent("country/poland", "Poland", "PL", "POL", "Polska"),
+		ent("country/austria", "Austria", "AT", "AUT", "Österreich"),
+		ent("country/belgium", "Belgium", "BE", "BEL"),
+		ent("country/portugal", "Portugal", "PT", "PRT"),
+		ent("country/greece", "Greece", "GR", "GRC", "Hellas"),
+		ent("country/ireland", "Ireland", "IE", "IRL", "Éire"),
+		ent("country/russia", "Russia", "RU", "RUS", "Russian Federation"),
+		ent("country/turkey", "Turkey", "TR", "TUR", "Türkiye"),
+		ent("country/egypt", "Egypt", "EG", "EGY"),
+		ent("country/southafrica", "South Africa", "ZA", "ZAF"),
+		ent("country/nigeria", "Nigeria", "NG", "NGA"),
+		ent("country/kenya", "Kenya", "KE", "KEN"),
+		ent("country/argentina", "Argentina", "AR", "ARG"),
+		ent("country/chile", "Chile", "CL", "CHL"),
+		ent("country/colombia", "Colombia", "CO", "COL"),
+		ent("country/peru", "Peru", "PE", "PER", "Perú"),
+		ent("country/southkorea", "South Korea", "KR", "KOR", "Republic of Korea", "Korea"),
+		ent("country/indonesia", "Indonesia", "ID", "IDN"),
+		ent("country/thailand", "Thailand", "TH", "THA"),
+		ent("country/vietnam", "Vietnam", "VN", "VNM", "Viet Nam"),
+		ent("country/philippines", "Philippines", "PH", "PHL"),
+		ent("country/malaysia", "Malaysia", "MY", "MYS"),
+		ent("country/singapore", "Singapore", "SG", "SGP"),
+		ent("country/newzealand", "New Zealand", "NZ", "NZL", "Aotearoa"),
+		ent("country/israel", "Israel", "IL", "ISR"),
+		ent("country/saudiarabia", "Saudi Arabia", "SA", "SAU"),
+		ent("country/uae", "United Arab Emirates", "AE", "ARE", "UAE"),
+		ent("country/pakistan", "Pakistan", "PK", "PAK"),
+		ent("country/bangladesh", "Bangladesh", "BD", "BGD"),
+		ent("country/ukraine", "Ukraine", "UA", "UKR"),
+		ent("country/czechia", "Czech Republic", "CZ", "CZE", "Czechia"),
+		ent("country/hungary", "Hungary", "HU", "HUN"),
+		ent("country/romania", "Romania", "RO", "ROU"),
+		ent("country/iceland", "Iceland", "IS", "ISL"),
+		ent("country/croatia", "Croatia", "HR", "HRV", "Hrvatska"),
+	}
+}
+
+// stateEntries covers all US states with USPS codes.
+func stateEntries() []Entry {
+	pairs := []struct{ name, code string }{
+		{"Alabama", "AL"}, {"Alaska", "AK"}, {"Arizona", "AZ"}, {"Arkansas", "AR"},
+		{"California", "CA"}, {"Colorado", "CO"}, {"Connecticut", "CT"},
+		{"Delaware", "DE"}, {"Florida", "FL"}, {"Georgia", "GA"}, {"Hawaii", "HI"},
+		{"Idaho", "ID"}, {"Illinois", "IL"}, {"Indiana", "IN"}, {"Iowa", "IA"},
+		{"Kansas", "KS"}, {"Kentucky", "KY"}, {"Louisiana", "LA"}, {"Maine", "ME"},
+		{"Maryland", "MD"}, {"Massachusetts", "MA"}, {"Michigan", "MI"},
+		{"Minnesota", "MN"}, {"Mississippi", "MS"}, {"Missouri", "MO"},
+		{"Montana", "MT"}, {"Nebraska", "NE"}, {"Nevada", "NV"},
+		{"New Hampshire", "NH"}, {"New Jersey", "NJ"}, {"New Mexico", "NM"},
+		{"New York", "NY"}, {"North Carolina", "NC"}, {"North Dakota", "ND"},
+		{"Ohio", "OH"}, {"Oklahoma", "OK"}, {"Oregon", "OR"},
+		{"Pennsylvania", "PA"}, {"Rhode Island", "RI"}, {"South Carolina", "SC"},
+		{"South Dakota", "SD"}, {"Tennessee", "TN"}, {"Texas", "TX"},
+		{"Utah", "UT"}, {"Vermont", "VT"}, {"Virginia", "VA"},
+		{"Washington", "WA"}, {"West Virginia", "WV"}, {"Wisconsin", "WI"},
+		{"Wyoming", "WY"},
+	}
+	out := make([]Entry, len(pairs))
+	for i, p := range pairs {
+		id := "state/" + p.code
+		out[i] = ent(id, p.name, p.code)
+	}
+	return out
+}
+
+func monthEntries() []Entry {
+	months := []struct{ name, abbr string }{
+		{"January", "Jan"}, {"February", "Feb"}, {"March", "Mar"},
+		{"April", "Apr"}, {"May", "May"}, {"June", "Jun"}, {"July", "Jul"},
+		{"August", "Aug"}, {"September", "Sep"}, {"October", "Oct"},
+		{"November", "Nov"}, {"December", "Dec"},
+	}
+	out := make([]Entry, len(months))
+	for i, m := range months {
+		syns := []string{m.abbr, m.abbr + "."}
+		if m.abbr == "Sep" {
+			syns = append(syns, "Sept", "Sept.")
+		}
+		out[i] = ent("month/"+m.abbr, m.name, syns...)
+	}
+	return out
+}
+
+func weekdayEntries() []Entry {
+	days := []struct{ name, abbr string }{
+		{"Monday", "Mon"}, {"Tuesday", "Tue"}, {"Wednesday", "Wed"},
+		{"Thursday", "Thu"}, {"Friday", "Fri"}, {"Saturday", "Sat"},
+		{"Sunday", "Sun"},
+	}
+	out := make([]Entry, len(days))
+	for i, d := range days {
+		out[i] = ent("weekday/"+d.abbr, d.name, d.abbr, d.abbr+".")
+	}
+	return out
+}
+
+func currencyEntries() []Entry {
+	return []Entry{
+		ent("currency/usd", "US Dollar", "USD", "$", "Dollar"),
+		ent("currency/eur", "Euro", "EUR", "€"),
+		ent("currency/gbp", "British Pound", "GBP", "£", "Pound Sterling", "Sterling"),
+		ent("currency/jpy", "Japanese Yen", "JPY", "¥", "Yen"),
+		ent("currency/cad", "Canadian Dollar", "CAD"),
+		ent("currency/aud", "Australian Dollar", "AUD"),
+		ent("currency/chf", "Swiss Franc", "CHF", "Franc"),
+		ent("currency/cny", "Chinese Yuan", "CNY", "RMB", "Renminbi", "Yuan"),
+		ent("currency/inr", "Indian Rupee", "INR", "Rupee"),
+		ent("currency/brl", "Brazilian Real", "BRL", "Real"),
+		ent("currency/mxn", "Mexican Peso", "MXN"),
+		ent("currency/sek", "Swedish Krona", "SEK", "Krona"),
+		ent("currency/nok", "Norwegian Krone", "NOK", "Krone"),
+		ent("currency/dkk", "Danish Krone", "DKK"),
+		ent("currency/pln", "Polish Zloty", "PLN", "Zloty", "Złoty"),
+		ent("currency/rub", "Russian Ruble", "RUB", "Ruble", "Rouble"),
+		ent("currency/try", "Turkish Lira", "TRY", "Lira"),
+		ent("currency/krw", "South Korean Won", "KRW", "Won"),
+		ent("currency/sgd", "Singapore Dollar", "SGD"),
+		ent("currency/nzd", "New Zealand Dollar", "NZD", "Kiwi Dollar"),
+		ent("currency/zar", "South African Rand", "ZAR", "Rand"),
+		ent("currency/ils", "Israeli Shekel", "ILS", "Shekel", "New Shekel"),
+		ent("currency/aed", "UAE Dirham", "AED", "Dirham"),
+		ent("currency/thb", "Thai Baht", "THB", "Baht"),
+		ent("currency/czk", "Czech Koruna", "CZK", "Koruna"),
+	}
+}
+
+func elementEntries() []Entry {
+	pairs := []struct{ name, sym string }{
+		{"Hydrogen", "H"}, {"Helium", "He"}, {"Lithium", "Li"},
+		{"Carbon", "C"}, {"Nitrogen", "N"}, {"Oxygen", "O"},
+		{"Fluorine", "F"}, {"Neon", "Ne"}, {"Sodium", "Na"},
+		{"Magnesium", "Mg"}, {"Aluminium", "Al"}, {"Silicon", "Si"},
+		{"Phosphorus", "P"}, {"Sulfur", "S"}, {"Chlorine", "Cl"},
+		{"Argon", "Ar"}, {"Potassium", "K"}, {"Calcium", "Ca"},
+		{"Titanium", "Ti"}, {"Chromium", "Cr"}, {"Manganese", "Mn"},
+		{"Iron", "Fe"}, {"Cobalt", "Co"}, {"Nickel", "Ni"},
+		{"Copper", "Cu"}, {"Zinc", "Zn"}, {"Silver", "Ag"},
+		{"Tin", "Sn"}, {"Iodine", "I"}, {"Platinum", "Pt"},
+		{"Gold", "Au"}, {"Mercury", "Hg"}, {"Lead", "Pb"},
+		{"Uranium", "U"}, {"Tungsten", "W"}, {"Sodium Chloride", "NaCl"},
+	}
+	out := make([]Entry, 0, len(pairs))
+	for _, p := range pairs {
+		syns := []string{p.sym}
+		if p.name == "Aluminium" {
+			syns = append(syns, "Aluminum")
+		}
+		if p.name == "Sulfur" {
+			syns = append(syns, "Sulphur")
+		}
+		out = append(out, ent("element/"+p.sym, p.name, syns...))
+	}
+	return out
+}
+
+func languageEntries() []Entry {
+	pairs := []struct {
+		name string
+		code string
+		alt  []string
+	}{
+		{"English", "en", []string{"eng"}},
+		{"German", "de", []string{"ger", "deu", "Deutsch"}},
+		{"French", "fr", []string{"fre", "fra", "Français"}},
+		{"Spanish", "es", []string{"spa", "Español", "Castilian"}},
+		{"Italian", "it", []string{"ita", "Italiano"}},
+		{"Portuguese", "pt", []string{"por", "Português"}},
+		{"Dutch", "nl", []string{"dut", "nld", "Nederlands"}},
+		{"Russian", "ru", []string{"rus"}},
+		{"Japanese", "ja", []string{"jpn", "Nihongo"}},
+		{"Chinese", "zh", []string{"chi", "zho", "Mandarin"}},
+		{"Korean", "ko", []string{"kor"}},
+		{"Arabic", "ar", []string{"ara"}},
+		{"Hindi", "hi", []string{"hin"}},
+		{"Bengali", "bn", []string{"ben", "Bangla"}},
+		{"Turkish", "tr", []string{"tur", "Türkçe"}},
+		{"Polish", "pl", []string{"pol", "Polski"}},
+		{"Swedish", "sv", []string{"swe", "Svenska"}},
+		{"Greek", "el", []string{"gre", "ell"}},
+		{"Hebrew", "he", []string{"heb"}},
+		{"Thai", "th", []string{"tha"}},
+		{"Vietnamese", "vi", []string{"vie"}},
+		{"Finnish", "fi", []string{"fin", "Suomi"}},
+		{"Norwegian", "no", []string{"nor", "Norsk"}},
+		{"Danish", "da", []string{"dan", "Dansk"}},
+		{"Czech", "cs", []string{"cze", "ces", "Čeština"}},
+	}
+	out := make([]Entry, len(pairs))
+	for i, p := range pairs {
+		syns := append([]string{p.code}, p.alt...)
+		out[i] = ent("language/"+p.code, p.name, syns...)
+	}
+	return out
+}
+
+// builtinTerms maps abbreviated tokens to canonical tokens: the word-level
+// shorthand that shows up inside longer values ("Fifth Ave", "Dept. of
+// Energy"). Token keys are matched after normalization.
+func builtinTerms() map[string]string {
+	return map[string]string{
+		"st":     "street",
+		"ave":    "avenue",
+		"blvd":   "boulevard",
+		"rd":     "road",
+		"dr":     "drive",
+		"ln":     "lane",
+		"hwy":    "highway",
+		"pkwy":   "parkway",
+		"sq":     "square",
+		"mt":     "mount",
+		"ft":     "fort",
+		"univ":   "university",
+		"inst":   "institute",
+		"dept":   "department",
+		"corp":   "corporation",
+		"inc":    "incorporated",
+		"ltd":    "limited",
+		"co":     "company",
+		"intl":   "international",
+		"natl":   "national",
+		"assn":   "association",
+		"bros":   "brothers",
+		"mfg":    "manufacturing",
+		"mgmt":   "management",
+		"govt":   "government",
+		"gen":    "general",
+		"sec":    "secretary",
+		"pres":   "president",
+		"gov":    "governor",
+		"sen":    "senator",
+		"rep":    "representative",
+		"prof":   "professor",
+		"dir":    "director",
+		"asst":   "assistant",
+		"eng":    "engineering",
+		"tech":   "technology",
+		"sci":    "science",
+		"med":    "medical",
+		"ctr":    "center",
+		"bldg":   "building",
+		"apt":    "apartment",
+		"num":    "number",
+		"no":     "number",
+		"vol":    "volume",
+		"ed":     "edition",
+		"pp":     "pages",
+		"approx": "approximately",
+	}
+}

@@ -1,0 +1,189 @@
+package lexicon
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLookupBasics(t *testing.T) {
+	l := Full()
+	cases := map[string]string{
+		"Canada":                   "country/canada",
+		"CA":                       "country/canada", // collision: countries precede states
+		"canada":                   "country/canada",
+		"U.S.A.":                   "country/usa",
+		"Deutschland":              "country/germany",
+		"New York":                 "state/NY",
+		"NY":                       "state/NY",
+		"September":                "month/Sep",
+		"Sept.":                    "month/Sep",
+		"EUR":                      "currency/eur",
+		"Aluminum":                 "element/Al",
+		"français":                 "language/fr",
+		"United States of America": "country/usa",
+	}
+	for in, want := range cases {
+		got, ok := l.Lookup(in)
+		if !ok {
+			t.Errorf("Lookup(%q) not found", in)
+			continue
+		}
+		if got != want {
+			t.Errorf("Lookup(%q)=%q want %q", in, got, want)
+		}
+	}
+	if _, ok := l.Lookup("no such thing xyz"); ok {
+		t.Error("unknown value should not resolve")
+	}
+}
+
+// "CA" is ambiguous (Canada's alpha-2 vs California's USPS code). The
+// lexicon resolves collisions by entry order: countries come first, so "CA"
+// must resolve to Canada — matching the paper's Fig. 1 where T2's Country
+// column uses "CA" for Canada.
+func TestLookupCollisionPrecedence(t *testing.T) {
+	l := Full()
+	got, ok := l.Lookup("CA")
+	if !ok {
+		t.Fatal("CA not found")
+	}
+	if got != "country/canada" {
+		t.Errorf("CA resolved to %q, want country/canada (entry-order precedence)", got)
+	}
+}
+
+func TestSynonymsOf(t *testing.T) {
+	l := Full()
+	syns := l.SynonymsOf("Germany")
+	joined := strings.Join(syns, ",")
+	for _, want := range []string{"DE", "DEU", "Deutschland"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("SynonymsOf(Germany) missing %q: %v", want, syns)
+		}
+	}
+	for _, s := range syns {
+		if s == "Germany" {
+			t.Error("SynonymsOf must exclude the query form")
+		}
+	}
+	if got := l.SynonymsOf("zzz-unknown"); got != nil {
+		t.Errorf("unknown value should yield nil, got %v", got)
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	l := Full()
+	if got := l.Canonical("country/canada"); got != "Canada" {
+		t.Errorf("Canonical=%q", got)
+	}
+	if got := l.Canonical("nope"); got != "" {
+		t.Errorf("unknown ID should yield empty, got %q", got)
+	}
+}
+
+func TestCanonicalToken(t *testing.T) {
+	l := Full()
+	if got := l.CanonicalToken("Univ"); got != "university" {
+		t.Errorf("CanonicalToken(Univ)=%q", got)
+	}
+	if got := l.CanonicalToken("St."); got != "street" {
+		t.Errorf("CanonicalToken(St.)=%q", got)
+	}
+	if got := l.CanonicalToken("banana"); got != "banana" {
+		t.Errorf("unknown token should pass through: %q", got)
+	}
+}
+
+func TestThin(t *testing.T) {
+	l := Full()
+	thinned := l.Thin(6)
+	if thinned.Len() >= l.Len() {
+		t.Fatalf("Thin did not drop entries: %d vs %d", thinned.Len(), l.Len())
+	}
+	// Deterministic: thinning twice gives the same lexicon.
+	again := l.Thin(6)
+	if thinned.Len() != again.Len() {
+		t.Error("Thin is not deterministic")
+	}
+	// Thinned lexicon keeps term pairs.
+	if got := thinned.CanonicalToken("univ"); got != "university" {
+		t.Errorf("thinned lexicon lost term pairs: %q", got)
+	}
+	// dropOneIn <= 0 is the identity.
+	if l.Thin(0) != l {
+		t.Error("Thin(0) should return the receiver")
+	}
+}
+
+func TestEntriesWithPrefix(t *testing.T) {
+	l := Full()
+	states := l.EntriesWithPrefix("state/")
+	if len(states) != 50 {
+		t.Errorf("want 50 states, got %d", len(states))
+	}
+	months := l.EntriesWithPrefix("month/")
+	if len(months) != 12 {
+		t.Errorf("want 12 months, got %d", len(months))
+	}
+	if got := l.EntriesWithPrefix("zzz/"); len(got) != 0 {
+		t.Errorf("unknown prefix should be empty: %v", got)
+	}
+}
+
+func TestIDsSortedAndUnique(t *testing.T) {
+	l := Full()
+	ids := l.IDs()
+	if len(ids) != l.Len() {
+		t.Fatalf("IDs length %d != entries %d", len(ids), l.Len())
+	}
+	seen := make(map[string]bool)
+	for i, id := range ids {
+		if seen[id] {
+			t.Errorf("duplicate entry ID %q", id)
+		}
+		seen[id] = true
+		if i > 0 && ids[i-1] > id {
+			t.Fatal("IDs not sorted")
+		}
+	}
+}
+
+func TestOrganizationAndMetroLookups(t *testing.T) {
+	l := Full()
+	cases := map[string]string{
+		"NASA":           "org/nasa",
+		"W.H.O.":         "org/who",
+		"United Nations": "org/un",
+		"NYC":            "metro/nyc",
+		"Los Angeles":    "metro/la",
+		// Note: "LA"/"L.A." resolve to state/LA (Louisiana) by entry-order
+		// precedence — an inherent ambiguity of short codes.
+		"St Petersburg": "metro/st-petersburg",
+		"CDMX":          "metro/mexico-city",
+	}
+	for in, want := range cases {
+		got, ok := l.Lookup(in)
+		if !ok || got != want {
+			t.Errorf("Lookup(%q)=%q,%v want %q", in, got, ok, want)
+		}
+	}
+	// The Mistral tier should bridge these via the lexicon.
+	// (Asserted in embed tests; here just check synonym listing works.)
+	if syns := l.SynonymsOf("NASA"); len(syns) == 0 {
+		t.Error("NASA should have synonyms")
+	}
+}
+
+func TestEntryForms(t *testing.T) {
+	e := ent("x/y", "Canonical", "a", "b")
+	forms := e.Forms()
+	if len(forms) != 3 || forms[0] != "Canonical" {
+		t.Errorf("Forms=%v", forms)
+	}
+}
+
+func TestFullIsCached(t *testing.T) {
+	if Full() != Full() {
+		t.Error("Full() should return the shared instance")
+	}
+}

@@ -1,0 +1,67 @@
+package match
+
+import (
+	"fmt"
+	"testing"
+
+	"fuzzyfd/internal/embed"
+)
+
+// syntheticColumns builds n columns of size values each, with overlapping
+// content so matching does real work.
+func syntheticColumns(nCols, size int) []Column {
+	cols := make([]Column, nCols)
+	for c := 0; c < nCols; c++ {
+		vals := make([]string, size)
+		for i := range vals {
+			// Overlap across columns with per-column decoration.
+			switch (i + c) % 3 {
+			case 0:
+				vals[i] = fmt.Sprintf("Entity %04d", i)
+			case 1:
+				vals[i] = fmt.Sprintf("entity %04d", i)
+			default:
+				vals[i] = fmt.Sprintf("Enttity %04d", i)
+			}
+		}
+		cols[c] = NewColumn(fmt.Sprintf("c%d", c), vals)
+	}
+	return cols
+}
+
+func BenchmarkMatchDense(b *testing.B) {
+	for _, size := range []int{100, 300} {
+		cols := syntheticColumns(3, size)
+		b.Run(fmt.Sprintf("n=%d", size), func(b *testing.B) {
+			m := &Matcher{Emb: embed.NewMistral(), Opts: Options{Mode: ModeDense}}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Match(cols); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMatchSparse(b *testing.B) {
+	for _, size := range []int{300, 1000} {
+		cols := syntheticColumns(3, size)
+		b.Run(fmt.Sprintf("n=%d", size), func(b *testing.B) {
+			m := &Matcher{Emb: embed.NewMistral(), Opts: Options{Mode: ModeSparse}}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Match(cols); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBlockingKeys(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		blockingKeys("University of Springfield at Riverton", nil)
+	}
+}

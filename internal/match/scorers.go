@@ -1,0 +1,63 @@
+package match
+
+import (
+	"fmt"
+
+	"fuzzyfd/internal/strutil"
+)
+
+// qgramScorer scores values by character q-gram set dissimilarity — the
+// string-transformation family of fuzzy join methods the paper contrasts
+// with (Zhu, He, Chaudhuri: Auto-Join, VLDB 2017, which matches n-grams of
+// cell values). It needs no embeddings and no knowledge, so it bridges
+// typos and case variants but not synonyms or codes.
+type qgramScorer struct {
+	q int
+}
+
+// QGramScorer returns a Scorer based on 1 − Jaccard similarity of the
+// padded character q-gram sets of the folded values. q defaults to 3 when
+// non-positive.
+func QGramScorer(q int) Scorer {
+	if q <= 0 {
+		q = 3
+	}
+	return qgramScorer{q: q}
+}
+
+func (s qgramScorer) Name() string { return fmt.Sprintf("qgram%d", s.q) }
+
+func (s qgramScorer) Distance(a, b string) float64 {
+	if a == b {
+		return 0
+	}
+	return 1 - strutil.QGramJaccard(strutil.Fold(a), strutil.Fold(b), s.q)
+}
+
+// hybridScorer takes the minimum distance over several scorers — useful
+// for combining a surface scorer with a knowledge scorer.
+type hybridScorer struct {
+	name    string
+	scorers []Scorer
+}
+
+// MinScorer returns a Scorer whose distance is the minimum over the given
+// scorers (i.e. a value pair matches if any component scorer matches it).
+func MinScorer(name string, scorers ...Scorer) Scorer {
+	return hybridScorer{name: name, scorers: scorers}
+}
+
+func (s hybridScorer) Name() string { return s.name }
+
+func (s hybridScorer) Distance(a, b string) float64 {
+	best := 1.0
+	for _, sc := range s.scorers {
+		if d := sc.Distance(a, b); d < best {
+			best = d
+			if best == 0 {
+				break
+			}
+		}
+	}
+	return best
+}

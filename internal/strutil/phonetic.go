@@ -1,0 +1,105 @@
+package strutil
+
+import (
+	"strings"
+	"unicode"
+)
+
+// soundexCode maps a letter to its Soundex digit, or 0 for vowels and
+// vowel-like letters that separate groups, or -1 for h/w which are
+// transparent.
+func soundexCode(r rune) int {
+	switch r {
+	case 'b', 'f', 'p', 'v':
+		return 1
+	case 'c', 'g', 'j', 'k', 'q', 's', 'x', 'z':
+		return 2
+	case 'd', 't':
+		return 3
+	case 'l':
+		return 4
+	case 'm', 'n':
+		return 5
+	case 'r':
+		return 6
+	case 'h', 'w':
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Soundex returns the classic 4-character Soundex key of the first token of
+// s ("Robert" → "r163"). Non-letters are ignored; an empty or letterless
+// input yields "".
+func Soundex(s string) string {
+	var letters []rune
+	for _, r := range strings.ToLower(s) {
+		if unicode.IsLetter(r) {
+			letters = append(letters, r)
+		} else if len(letters) > 0 {
+			break // first token only
+		}
+	}
+	if len(letters) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteRune(letters[0])
+	prev := soundexCode(letters[0])
+	for _, r := range letters[1:] {
+		code := soundexCode(r)
+		switch {
+		case code > 0 && code != prev:
+			sb.WriteByte(byte('0' + code))
+			if sb.Len() == 4 {
+				return sb.String()
+			}
+			prev = code
+		case code == 0:
+			prev = 0
+		}
+		// code == -1 (h/w): keep prev, letters across h/w merge.
+	}
+	for sb.Len() < 4 {
+		sb.WriteByte('0')
+	}
+	return sb.String()
+}
+
+// ConsonantSkeleton lowercases s, drops all vowels and non-letters, and
+// collapses repeated consonants: "Berlinn" → "brln", "Berlin" → "brln".
+// It is a cheap typo- and vowel-insensitive key.
+func ConsonantSkeleton(s string) string {
+	var sb strings.Builder
+	var last rune
+	for _, r := range strings.ToLower(s) {
+		if !unicode.IsLetter(r) {
+			continue
+		}
+		switch r {
+		case 'a', 'e', 'i', 'o', 'u', 'y':
+			continue
+		}
+		if r == last {
+			continue
+		}
+		sb.WriteRune(r)
+		last = r
+	}
+	return sb.String()
+}
+
+// PhoneticKey returns a compound phonetic key over all tokens of s: the
+// Soundex of each token joined by '-'. "New Delhi" → "n000-d400".
+func PhoneticKey(s string) string {
+	toks := Tokens(s)
+	if len(toks) == 0 {
+		return ""
+	}
+	parts := make([]string, len(toks))
+	for i, t := range toks {
+		parts[i] = Soundex(t)
+	}
+	return strings.Join(parts, "-")
+}

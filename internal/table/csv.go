@@ -1,0 +1,169 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ReadOptions configures CSV/TSV parsing.
+type ReadOptions struct {
+	// Comma is the field delimiter; 0 means ','.
+	Comma rune
+	// NoHeader treats the first record as data; columns are named col0..colN.
+	NoHeader bool
+	// NullMarkers are the cell spellings read as null, in addition to the
+	// empty string and NullToken. Comparison is case-insensitive.
+	NullMarkers []string
+	// TrimSpace trims surrounding whitespace from every cell.
+	TrimSpace bool
+}
+
+var defaultNullMarkers = []string{"null", "na", "n/a", "\\n", "none", "nil"}
+
+func (o ReadOptions) isNull(s string) bool {
+	if s == "" || s == NullToken {
+		return true
+	}
+	low := strings.ToLower(s)
+	for _, m := range defaultNullMarkers {
+		if low == m {
+			return true
+		}
+	}
+	for _, m := range o.NullMarkers {
+		if strings.EqualFold(s, m) {
+			return true
+		}
+	}
+	return false
+}
+
+// ReadCSV parses a table from r. Ragged rows are an error. The returned
+// table carries the given name.
+func ReadCSV(r io.Reader, name string, opts ReadOptions) (*Table, error) {
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.FieldsPerRecord = 0 // enforce uniform width based on the first record
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("table: read csv %q: %w", name, err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("table: read csv %q: empty input", name)
+	}
+	var cols []string
+	var data [][]string
+	if opts.NoHeader {
+		cols = make([]string, len(records[0]))
+		for i := range cols {
+			cols[i] = fmt.Sprintf("col%d", i)
+		}
+		data = records
+	} else {
+		cols = records[0]
+		data = records[1:]
+	}
+	t := New(name, cols...)
+	for _, rec := range data {
+		row := make(Row, len(rec))
+		for i, f := range rec {
+			if opts.TrimSpace {
+				f = strings.TrimSpace(f)
+			}
+			if opts.isNull(f) {
+				row[i] = Null()
+			} else {
+				row[i] = S(f)
+			}
+		}
+		if err := t.AppendRow(row); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// ReadCSVFile parses the file at path; the table name is the base file name
+// without extension.
+func ReadCSVFile(path string, opts ReadOptions) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("table: %w", err)
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	if strings.EqualFold(filepath.Ext(path), ".tsv") && opts.Comma == 0 {
+		opts.Comma = '\t'
+	}
+	return ReadCSV(f, name, opts)
+}
+
+// WriteOptions configures CSV output.
+type WriteOptions struct {
+	// Comma is the field delimiter; 0 means ','.
+	Comma rune
+	// NullAs is the spelling written for null cells; empty means the empty
+	// string (which ReadCSV reads back as null).
+	NullAs string
+	// NoHeader omits the column-name record.
+	NoHeader bool
+}
+
+// WriteCSV writes the table to w.
+//
+// Caveat inherent to CSV: with the default empty NullAs, a row whose cells
+// are all null in a single-column table serializes as a blank line, which
+// CSV readers (including ReadCSV) skip. Set NullAs to NullToken for a
+// lossless round trip.
+func WriteCSV(w io.Writer, t *Table, opts WriteOptions) error {
+	cw := csv.NewWriter(w)
+	if opts.Comma != 0 {
+		cw.Comma = opts.Comma
+	}
+	if !opts.NoHeader {
+		if err := cw.Write(t.Columns); err != nil {
+			return fmt.Errorf("table: write csv %q: %w", t.Name, err)
+		}
+	}
+	rec := make([]string, len(t.Columns))
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if c.IsNull {
+				rec[i] = opts.NullAs
+			} else {
+				rec[i] = c.Val
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("table: write csv %q: %w", t.Name, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("table: write csv %q: %w", t.Name, err)
+	}
+	return nil
+}
+
+// WriteCSVFile writes the table to the file at path, creating parent
+// directories as needed.
+func WriteCSVFile(path string, t *Table, opts WriteOptions) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("table: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("table: %w", err)
+	}
+	if err := WriteCSV(f, t, opts); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,147 @@
+package table
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writerBuffer is a tiny in-memory io.Writer / reader pair for tests.
+type writerBuffer struct{ b strings.Builder }
+
+func (w *writerBuffer) Write(p []byte) (int, error) { return w.b.Write(p) }
+func (w *writerBuffer) reader() *strings.Reader     { return strings.NewReader(w.b.String()) }
+
+func TestReadCSVBasic(t *testing.T) {
+	in := "city,country\nBerlin,Germany\nToronto,\n"
+	tb, err := ReadCSV(strings.NewReader(in), "t1", ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Name != "t1" || tb.NumCols() != 2 || tb.NumRows() != 2 {
+		t.Fatalf("shape: %+v", tb)
+	}
+	if !tb.Rows[1][1].IsNull {
+		t.Errorf("empty field should read as null: %v", tb.Rows[1])
+	}
+}
+
+func TestReadCSVNullMarkers(t *testing.T) {
+	in := "a,b,c,d\nNULL,n/a,None,real\n"
+	tb, err := ReadCSV(strings.NewReader(in), "t", ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tb.Rows[0]
+	for i := 0; i < 3; i++ {
+		if !r[i].IsNull {
+			t.Errorf("cell %d should be null: %v", i, r[i])
+		}
+	}
+	if r[3].IsNull {
+		t.Error("cell 3 should not be null")
+	}
+}
+
+func TestReadCSVCustomMarkersAndTrim(t *testing.T) {
+	in := "a,b\n  x  ,MISSING\n"
+	tb, err := ReadCSV(strings.NewReader(in), "t", ReadOptions{TrimSpace: true, NullMarkers: []string{"missing"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows[0][0].Val != "x" {
+		t.Errorf("trim failed: %q", tb.Rows[0][0].Val)
+	}
+	if !tb.Rows[0][1].IsNull {
+		t.Error("custom null marker not honored")
+	}
+}
+
+func TestReadCSVNoHeader(t *testing.T) {
+	in := "1,2\n3,4\n"
+	tb, err := ReadCSV(strings.NewReader(in), "t", ReadOptions{NoHeader: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Columns[0] != "col0" || tb.Columns[1] != "col1" {
+		t.Errorf("generated columns=%v", tb.Columns)
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("rows=%d", tb.NumRows())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), "t", ReadOptions{}); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1\n"), "t", ReadOptions{}); err == nil {
+		t.Error("ragged input accepted")
+	}
+}
+
+func TestWriteCSVNullSpelling(t *testing.T) {
+	tb := New("t", "a", "b")
+	tb.MustAppendRow(S("1"), Null())
+	var buf writerBuffer
+	if err := WriteCSV(&buf, tb, WriteOptions{NullAs: "NULL"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.b.String(), "1,NULL") {
+		t.Errorf("output=%q", buf.b.String())
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "cities.csv")
+	tb := New("cities", "city", "pop")
+	tb.MustAppendRow(S("Berlin"), S("3.7M"))
+	tb.MustAppendRow(S("Toronto"), Null())
+	if err := WriteCSVFile(path, tb, WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSVFile(path, ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "cities" {
+		t.Errorf("name from file=%q", back.Name)
+	}
+	if !tb.EqualRowsUnordered(back) {
+		t.Errorf("round trip mismatch:\n%v\n%v", tb, back)
+	}
+}
+
+func TestReadTSVFileDelimiter(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.tsv")
+	if err := os.WriteFile(path, []byte("a\tb\n1\t2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tb, err := ReadCSVFile(path, ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumCols() != 2 || tb.Rows[0][1].Val != "2" {
+		t.Errorf("tsv parse wrong: %v", tb)
+	}
+}
+
+func TestPrint(t *testing.T) {
+	tb := New("t", "city", "country")
+	tb.MustAppendRow(S("Berlin"), S("Germany"))
+	tb.MustAppendRow(S("a very long city name that should be clipped"), Null())
+	var buf writerBuffer
+	if err := Fprint(&buf, tb, PrintOptions{MaxRows: 1, MaxCellWidth: 10}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.b.String()
+	if !strings.Contains(out, "city") || !strings.Contains(out, "1 more rows") {
+		t.Errorf("print output missing pieces:\n%s", out)
+	}
+	if s := tb.String(); !strings.Contains(s, NullToken) {
+		t.Errorf("String() should render nulls: %s", s)
+	}
+}

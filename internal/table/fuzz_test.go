@@ -1,0 +1,39 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks that arbitrary input never panics the reader and that
+// whatever parses also survives a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a,b\n1,2\n")
+	f.Add("city,country\nBerlin,\n\"quo\"\"ted\",x\n")
+	f.Add("⊥,NULL\nn/a,none\n")
+	f.Add("\n\n\n")
+	f.Add("a\tb\n1\t2\n")
+	f.Add("col,col\ndup,dup\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tb, err := ReadCSV(strings.NewReader(input), "fuzz", ReadOptions{})
+		if err != nil {
+			return // malformed input is allowed to fail, not to panic
+		}
+		if err := tb.Validate(); err != nil {
+			// Duplicate header names parse but fail validation; fine.
+			return
+		}
+		var buf strings.Builder
+		if err := WriteCSV(&buf, tb, WriteOptions{NullAs: NullToken}); err != nil {
+			t.Fatalf("write after successful read: %v", err)
+		}
+		back, err := ReadCSV(strings.NewReader(buf.String()), "fuzz", ReadOptions{})
+		if err != nil {
+			t.Fatalf("re-read own output: %v\noutput: %q", err, buf.String())
+		}
+		if back.NumRows() != tb.NumRows() || back.NumCols() != tb.NumCols() {
+			t.Fatalf("round trip changed shape: %dx%d -> %dx%d",
+				tb.NumRows(), tb.NumCols(), back.NumRows(), back.NumCols())
+		}
+	})
+}

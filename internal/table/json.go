@@ -1,0 +1,92 @@
+package table
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSONL writes the table as JSON Lines: one object per row mapping
+// column names to string values; null cells are omitted. JSONL is the
+// interchange format downstream pipelines (and the fuzzyfd CLI's -json
+// flag) consume.
+func WriteJSONL(w io.Writer, t *Table) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, row := range t.Rows {
+		obj := make(map[string]string, len(row))
+		for c, cell := range row {
+			if !cell.IsNull {
+				obj[t.Columns[c]] = cell.Val
+			}
+		}
+		if err := enc.Encode(obj); err != nil {
+			return fmt.Errorf("table: write jsonl %q row %d: %w", t.Name, i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSON Lines stream into a table. The schema is the
+// union of all keys in first-seen order; missing keys become null cells.
+// Non-string JSON values are rendered with their default JSON encoding.
+func ReadJSONL(r io.Reader, name string) (*Table, error) {
+	dec := json.NewDecoder(r)
+	var rawRows []map[string]json.RawMessage
+	for {
+		var obj map[string]json.RawMessage
+		if err := dec.Decode(&obj); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("table: read jsonl %q: %w", name, err)
+		}
+		rawRows = append(rawRows, obj)
+	}
+
+	t := New(name)
+	colIdx := make(map[string]int)
+	// First pass: collect schema deterministically (sorted within a row to
+	// make column order stable despite Go's map iteration).
+	for _, obj := range rawRows {
+		for _, k := range sortedKeys(obj) {
+			if _, ok := colIdx[k]; !ok {
+				colIdx[k] = len(t.Columns)
+				t.Columns = append(t.Columns, k)
+			}
+		}
+	}
+	for _, obj := range rawRows {
+		row := make(Row, len(t.Columns))
+		for i := range row {
+			row[i] = Null()
+		}
+		for k, raw := range obj {
+			var s string
+			if err := json.Unmarshal(raw, &s); err != nil {
+				s = string(raw) // numbers, booleans, nested values: raw JSON
+			}
+			row[colIdx[k]] = S(s)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+func sortedKeys(m map[string]json.RawMessage) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	insertionSortStrings(keys)
+	return keys
+}
+
+func insertionSortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

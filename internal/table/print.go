@@ -1,0 +1,100 @@
+package table
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"unicode/utf8"
+)
+
+// PrintOptions configures the pretty printer.
+type PrintOptions struct {
+	// MaxRows limits printed rows; 0 means all. A trailing ellipsis row is
+	// added when truncated.
+	MaxRows int
+	// MaxCellWidth truncates long cells with an ellipsis; 0 means 32.
+	MaxCellWidth int
+}
+
+// Fprint writes an aligned, human-readable rendering of t to w.
+func Fprint(w io.Writer, t *Table, opts PrintOptions) error {
+	maxW := opts.MaxCellWidth
+	if maxW <= 0 {
+		maxW = 32
+	}
+	rows := t.Rows
+	truncated := false
+	if opts.MaxRows > 0 && len(rows) > opts.MaxRows {
+		rows = rows[:opts.MaxRows]
+		truncated = true
+	}
+
+	clip := func(s string) string {
+		if utf8.RuneCountInString(s) <= maxW {
+			return s
+		}
+		r := []rune(s)
+		return string(r[:maxW-1]) + "…"
+	}
+
+	widths := make([]int, len(t.Columns))
+	header := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		header[i] = clip(c)
+		widths[i] = utf8.RuneCountInString(header[i])
+	}
+	cells := make([][]string, len(rows))
+	for r, row := range rows {
+		cells[r] = make([]string, len(row))
+		for i, c := range row {
+			cells[r][i] = clip(c.String())
+			if l := utf8.RuneCountInString(cells[r][i]); l > widths[i] {
+				widths[i] = l
+			}
+		}
+	}
+
+	pad := func(s string, w int) string {
+		return s + strings.Repeat(" ", w-utf8.RuneCountInString(s))
+	}
+	var sb strings.Builder
+	if t.Name != "" {
+		fmt.Fprintf(&sb, "-- %s (%d rows) --\n", t.Name, len(t.Rows))
+	}
+	for i, h := range header {
+		if i > 0 {
+			sb.WriteString(" | ")
+		}
+		sb.WriteString(pad(h, widths[i]))
+	}
+	sb.WriteByte('\n')
+	for i := range header {
+		if i > 0 {
+			sb.WriteString("-+-")
+		}
+		sb.WriteString(strings.Repeat("-", widths[i]))
+	}
+	sb.WriteByte('\n')
+	for _, row := range cells {
+		for i, c := range row {
+			if i > 0 {
+				sb.WriteString(" | ")
+			}
+			sb.WriteString(pad(c, widths[i]))
+		}
+		sb.WriteByte('\n')
+	}
+	if truncated {
+		fmt.Fprintf(&sb, "… (%d more rows)\n", len(t.Rows)-len(rows))
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// String renders the table with default options.
+func (t *Table) String() string {
+	var sb strings.Builder
+	// Writing to a strings.Builder cannot fail.
+	_ = Fprint(&sb, t, PrintOptions{})
+	return sb.String()
+}
