@@ -147,13 +147,40 @@ func WithContentAlignment(useHeaders bool) Option {
 }
 
 // WithParallelFD computes the Full Disjunction with the given number of
-// workers.
+// workers: connected components of the integration graph are closed
+// concurrently (see WithPartitioning).
 func WithParallelFD(workers int) Option {
 	return func(o *options) error {
 		if workers < 1 {
 			return fmt.Errorf("fuzzyfd: workers %d < 1", workers)
 		}
 		o.cfg.FD.Workers = workers
+		return nil
+	}
+}
+
+// WithPartitioning toggles connected-component partitioning of the Full
+// Disjunction (on by default): the outer union splits into independent
+// components that are closed and subsumption-reduced separately — and, with
+// WithParallelFD, scheduled whole across workers. Disabling it forces the
+// flat global closure; results are identical either way, so the switch
+// exists for ablation and benchmarking.
+func WithPartitioning(on bool) Option {
+	return func(o *options) error {
+		o.cfg.FD.NoPartition = !on
+		return nil
+	}
+}
+
+// WithMatchWorkers sets the concurrency of the value-matching phase's
+// embedding warm-up (default: the number of CPUs). It is independent of
+// WithParallelFD, which tunes the FD closure.
+func WithMatchWorkers(workers int) Option {
+	return func(o *options) error {
+		if workers < 1 {
+			return fmt.Errorf("fuzzyfd: match workers %d < 1", workers)
+		}
+		o.cfg.MatchWorkers = workers
 		return nil
 	}
 }

@@ -213,3 +213,36 @@ func TestModels(t *testing.T) {
 		t.Errorf("Models()=%v", ms)
 	}
 }
+
+func TestWithPartitioningEquivalence(t *testing.T) {
+	part, err := Integrate(covidTables(), WithPartitioning(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Integrate(covidTables(), WithPartitioning(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !part.Table.Equal(flat.Table) {
+		t.Error("partitioned and flat engines disagree")
+	}
+	if part.FDStats.Components == 0 {
+		t.Errorf("partitioned run reported no components: %+v", part.FDStats)
+	}
+	if flat.FDStats.Components != 0 {
+		t.Errorf("flat run reported components: %+v", flat.FDStats)
+	}
+}
+
+func TestWithMatchWorkers(t *testing.T) {
+	res, err := Integrate(covidTables(), WithMatchWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() != 5 {
+		t.Errorf("rows=%d want 5", res.Table.NumRows())
+	}
+	if _, err := Integrate(covidTables(), WithMatchWorkers(0)); err == nil {
+		t.Error("zero match workers accepted")
+	}
+}

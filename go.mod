@@ -1,0 +1,3 @@
+module fuzzyfd
+
+go 1.24

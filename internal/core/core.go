@@ -14,6 +14,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -61,8 +62,20 @@ type Config struct {
 	AlignThreshold float64
 	// UseHeaders blends headers into content-based alignment.
 	UseHeaders bool
+	// MatchWorkers sets the concurrency of the match phase's value
+	// pre-embedding. 0 means runtime.NumCPU(). The match phase has its own
+	// knob because its parallelism is about embedder throughput, not about
+	// the FD closure (FD.Workers).
+	MatchWorkers int
 	// FD tunes the Full Disjunction computation.
 	FD fd.Options
+}
+
+func (c Config) matchWorkers() int {
+	if c.MatchWorkers > 0 {
+		return c.MatchWorkers
+	}
+	return runtime.NumCPU()
 }
 
 func (c Config) embedder() embed.Embedder {
@@ -201,25 +214,27 @@ func matchAndRewrite(tables []*table.Table, schema fd.Schema, cfg Config, res *R
 	}
 
 	// Pre-embed all distinct values of the aligned columns concurrently;
-	// matching then hits the embedder's cache. Worth it only when the FD
-	// itself will run multi-threaded or the columns are large.
-	if workers := cfg.FD.Workers; workers > 1 {
-		var values []string
-		seen := make(map[string]bool)
-		for _, refs := range sources {
-			if len(refs) < 2 {
-				continue
-			}
-			for _, rf := range refs {
-				for _, v := range tables[rf.table].ColumnValues(rf.col) {
-					if !seen[v] {
-						seen[v] = true
-						values = append(values, v)
-					}
+	// matching then hits the embedder's cache. Warming concurrency is the
+	// match phase's own knob (Config.MatchWorkers, default NumCPU) — it
+	// used to piggyback on FD.Workers, which coupled match throughput to an
+	// unrelated closure setting and left single-threaded-FD runs cold.
+	var values []string
+	seen := make(map[string]bool)
+	for _, refs := range sources {
+		if len(refs) < 2 {
+			continue
+		}
+		for _, rf := range refs {
+			for _, v := range tables[rf.table].ColumnValues(rf.col) {
+				if !seen[v] {
+					seen[v] = true
+					values = append(values, v)
 				}
 			}
 		}
-		embed.Warm(emb, values, workers)
+	}
+	if len(values) > 0 {
+		embed.Warm(emb, values, cfg.matchWorkers())
 	}
 
 	rewritten := make([]*table.Table, len(tables))
@@ -265,10 +280,15 @@ func applyRewrite(t *table.Table, ci int, m map[string]string) {
 	}
 }
 
+// combineStats aggregates per-column-set match statistics. MeanDistance is
+// member-weighted: each set's mean is scaled by the number of members that
+// contributed to it, so the combined value is the true mean over all
+// matched members rather than an unweighted mean of means (which let a
+// two-member column set move the aggregate as much as a thousand-member
+// one).
 func combineStats(stats []match.Stats) match.Stats {
 	var out match.Stats
 	var distSum float64
-	var distN int
 	for _, s := range stats {
 		out.Clusters += s.Clusters
 		out.Singletons += s.Singletons
@@ -278,13 +298,11 @@ func combineStats(stats []match.Stats) match.Stats {
 		if s.LargestSize > out.LargestSize {
 			out.LargestSize = s.LargestSize
 		}
-		if s.MeanDistance > 0 {
-			distSum += s.MeanDistance
-			distN++
-		}
+		distSum += s.MeanDistance * float64(s.DistanceCount)
+		out.DistanceCount += s.DistanceCount
 	}
-	if distN > 0 {
-		out.MeanDistance = distSum / float64(distN)
+	if out.DistanceCount > 0 {
+		out.MeanDistance = distSum / float64(out.DistanceCount)
 	}
 	return out
 }

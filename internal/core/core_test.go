@@ -207,3 +207,50 @@ func TestDownstreamEMImproves(t *testing.T) {
 		t.Errorf("fuzzy FD should improve downstream EM F1: %.3f vs %.3f", mf.F1, mr.F1)
 	}
 }
+
+// combineStats must weight MeanDistance by the number of contributing
+// members, not average the per-set means.
+func TestCombineStatsMemberWeighted(t *testing.T) {
+	combined := combineStats([]match.Stats{
+		{Clusters: 1, Members: 3, MeanDistance: 0.1, DistanceCount: 9},
+		{Clusters: 2, Members: 2, MeanDistance: 0.7, DistanceCount: 1},
+	})
+	want := (0.1*9 + 0.7*1) / 10
+	if diff := combined.MeanDistance - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("MeanDistance=%v want %v (member-weighted)", combined.MeanDistance, want)
+	}
+	if combined.DistanceCount != 10 {
+		t.Errorf("DistanceCount=%d want 10", combined.DistanceCount)
+	}
+	if combined.Clusters != 3 || combined.Members != 5 {
+		t.Errorf("counts not summed: %+v", combined)
+	}
+	// Sets that matched nothing contribute nothing.
+	empty := combineStats([]match.Stats{{Clusters: 4}, {Clusters: 1}})
+	if empty.MeanDistance != 0 || empty.DistanceCount != 0 {
+		t.Errorf("empty distance stats: %+v", empty)
+	}
+}
+
+// Match-phase warming has its own worker knob: a single-threaded-FD config
+// must still integrate correctly with explicit match workers, and the
+// default (0 = NumCPU) must not depend on FD.Workers.
+func TestMatchWorkersIndependentOfFD(t *testing.T) {
+	base, err := Integrate(fig1(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []Config{
+		{MatchWorkers: 1},
+		{MatchWorkers: 8},
+		{MatchWorkers: 8, FD: fd.Options{Workers: 1}},
+	} {
+		res, err := Integrate(fig1(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Table.Equal(base.Table) {
+			t.Errorf("cfg %+v changed the integrated table", cfg)
+		}
+	}
+}

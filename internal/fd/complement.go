@@ -4,29 +4,30 @@ import (
 	"sort"
 	"sync"
 
-	"fuzzyfd/internal/table"
+	"fuzzyfd/internal/intern"
 )
 
-// postingIndex is an inverted index from (output column, value) to the
-// tuples holding that value. Complementation candidates must share at least
-// one equal non-null value, so scanning a tuple's posting lists enumerates
-// exactly the connected pairs.
+// postingIndex is an inverted index from (output column, value symbol) to
+// the tuples holding that symbol. Complementation candidates must share at
+// least one equal non-null value, so scanning a tuple's posting lists
+// enumerates exactly the connected pairs. Keys are interned symbols, so a
+// probe hashes one machine word instead of a cell's text.
 type postingIndex struct {
-	byCol []map[string][]int
+	byCol []map[uint32][]int
 }
 
 func newPostingIndex(nCols int) *postingIndex {
-	idx := &postingIndex{byCol: make([]map[string][]int, nCols)}
+	idx := &postingIndex{byCol: make([]map[uint32][]int, nCols)}
 	for i := range idx.byCol {
-		idx.byCol[i] = make(map[string][]int)
+		idx.byCol[i] = make(map[uint32][]int)
 	}
 	return idx
 }
 
-func (idx *postingIndex) add(tupleID int, cells []table.Cell) {
-	for c, cell := range cells {
-		if !cell.IsNull {
-			idx.byCol[c][cell.Val] = append(idx.byCol[c][cell.Val], tupleID)
+func (idx *postingIndex) add(tupleID int, cells []uint32) {
+	for c, sym := range cells {
+		if sym != intern.Null {
+			idx.byCol[c][sym] = append(idx.byCol[c][sym], tupleID)
 		}
 	}
 }
@@ -64,12 +65,12 @@ func (s *stampSet) seen(j int) bool {
 
 // candidates calls fn for every tuple sharing an equal non-null value with
 // cells, deduplicated, excluding self.
-func (idx *postingIndex) candidates(self int, cells []table.Cell, seen *stampSet, fn func(j int)) {
-	for c, cell := range cells {
-		if cell.IsNull {
+func (idx *postingIndex) candidates(self int, cells []uint32, seen *stampSet, fn func(j int)) {
+	for c, sym := range cells {
+		if sym == intern.Null {
 			continue
 		}
-		for _, j := range idx.byCol[c][cell.Val] {
+		for _, j := range idx.byCol[c][sym] {
 			if j == self || seen.seen(j) {
 				continue
 			}
@@ -78,139 +79,169 @@ func (idx *postingIndex) candidates(self int, cells []table.Cell, seen *stampSet
 	}
 }
 
-// complementSequential closes tuples under pairwise complementation using a
-// worklist. New merged tuples are appended to *tuples and indexed, so
-// merges compose transitively until fixpoint.
-func complementSequential(tuples *[]Tuple, sigIdx map[string]int, nCols int, opts Options, stats *Stats) error {
-	ts := *tuples
-	idx := newPostingIndex(nCols)
-	for i := range ts {
-		idx.add(i, ts[i].Cells)
+// closure is the mutable state of one complementation run: the growing
+// tuple store with its signature and posting indexes, plus the (possibly
+// shared) tuple budget. A closure covers either the whole outer union
+// (Options.NoPartition) or a single connected component.
+type closure struct {
+	eng    *engine
+	tuples []Tuple
+	sigs   *sigIndex
+	idx    *postingIndex
+	bud    *budget
+}
+
+// newClosure wraps an existing store whose signature index is already
+// populated.
+func newClosure(eng *engine, tuples []Tuple, sigs *sigIndex, bud *budget) *closure {
+	idx := newPostingIndex(eng.nCols)
+	for i := range tuples {
+		idx.add(i, tuples[i].Cells)
 	}
-	queue := make([]int, len(ts))
+	return &closure{eng: eng, tuples: tuples, sigs: sigs, idx: idx, bud: bud}
+}
+
+// newComponentClosure copies one component into a fresh store with local
+// tuple IDs and a local signature index.
+func newComponentClosure(eng *engine, comp []Tuple, bud *budget) *closure {
+	tuples := make([]Tuple, len(comp))
+	copy(tuples, comp)
+	sigs := newSigIndex()
+	for i := range tuples {
+		sigs.add(tuples[i].Cells, i)
+	}
+	return newClosure(eng, tuples, sigs, bud)
+}
+
+// run closes the store under pairwise complementation using a worklist. New
+// merged tuples are appended and indexed, so merges compose transitively
+// until fixpoint.
+func (c *closure) run(stats *Stats) error {
+	if len(c.tuples) > 0 && c.bud.exceeded() {
+		return ErrTupleBudget
+	}
+	queue := make([]int, len(c.tuples))
 	for i := range queue {
 		queue[i] = i
 	}
 	var scratch stampSet
+	var budgetErr error
 
-	for len(queue) > 0 {
+	for len(queue) > 0 && budgetErr == nil {
 		i := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 
-		scratch.next(len(ts))
+		scratch.next(len(c.tuples))
 		var newIDs []int
-		idx.candidates(i, ts[i].Cells, &scratch, func(j int) {
+		c.idx.candidates(i, c.tuples[i].Cells, &scratch, func(j int) {
+			if budgetErr != nil {
+				return
+			}
 			stats.MergeAttempts++
-			merged, ok := tryMerge(ts[i].Cells, ts[j].Cells)
+			merged, ok := tryMerge(c.tuples[i].Cells, c.tuples[j].Cells)
 			if !ok {
 				return
 			}
-			sig := signature(merged)
-			if at, exists := sigIdx[sig]; exists {
-				ts[at].Prov = mergeProv(ts[at].Prov, mergeProv(ts[i].Prov, ts[j].Prov))
+			at, hash, exists := c.sigs.find(merged, c.tuples)
+			if exists {
+				c.tuples[at].Prov = mergeProv(c.tuples[at].Prov, mergeProv(c.tuples[i].Prov, c.tuples[j].Prov))
 				return
 			}
 			stats.Merges++
-			id := len(ts)
-			sigIdx[sig] = id
-			ts = append(ts, Tuple{Cells: merged, Prov: mergeProv(ts[i].Prov, ts[j].Prov)})
+			id := len(c.tuples)
+			c.sigs.addHashed(hash, id)
+			c.tuples = append(c.tuples, Tuple{Cells: merged, Prov: mergeProv(c.tuples[i].Prov, c.tuples[j].Prov)})
 			newIDs = append(newIDs, id)
+			budgetErr = c.bud.add(1)
 		})
 		for _, id := range newIDs {
-			idx.add(id, ts[id].Cells)
+			c.idx.add(id, c.tuples[id].Cells)
 			queue = append(queue, id)
 		}
-		if opts.MaxTuples > 0 && len(ts) > opts.MaxTuples {
-			return ErrTupleBudget
-		}
 	}
-	*tuples = ts
-	return nil
+	return budgetErr
 }
 
-// complementParallel is the round-based parallel variant (after Paganelli
-// et al.): each round, a frontier of unprocessed tuples is partitioned
-// across workers that read a shared snapshot of the tuple store and index
-// and emit merge proposals; the coordinator then deduplicates proposals in
-// deterministic (signature) order and builds the next frontier. The final
-// closure is identical to the sequential algorithm's.
-func complementParallel(tuples *[]Tuple, sigIdx map[string]int, nCols int, opts Options, stats *Stats) error {
-	ts := *tuples
-	idx := newPostingIndex(nCols)
-	for i := range ts {
-		idx.add(i, ts[i].Cells)
+// runParallel is the round-based parallel closure (after Paganelli et al.),
+// used when the input forms a single connected component that cannot be
+// split across workers: each round, a frontier of unprocessed tuples is
+// partitioned across workers that read a shared snapshot of the store and
+// emit merge proposals; the coordinator then applies proposals in
+// deterministic (value) order and builds the next frontier. The final
+// closure is identical to run's.
+func (c *closure) runParallel(workers int, stats *Stats) error {
+	if len(c.tuples) > 0 && c.bud.exceeded() {
+		return ErrTupleBudget
 	}
-	frontier := make([]int, len(ts))
+	frontier := make([]int, len(c.tuples))
 	for i := range frontier {
 		frontier[i] = i
 	}
 
 	type proposal struct {
-		sig   string
-		cells []table.Cell
+		cells []uint32
 		prov  []TID
 	}
 
 	for len(frontier) > 0 {
-		workers := opts.Workers
-		if workers > len(frontier) {
-			workers = len(frontier)
+		w := workers
+		if w > len(frontier) {
+			w = len(frontier)
 		}
-		results := make([][]proposal, workers)
-		attempts := make([]int, workers)
+		results := make([][]proposal, w)
+		attempts := make([]int, w)
 		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
+		for wi := 0; wi < w; wi++ {
 			wg.Add(1)
-			go func(w int) {
+			go func(wi int) {
 				defer wg.Done()
 				var scratch stampSet
 				var out []proposal
-				for fi := w; fi < len(frontier); fi += workers {
+				for fi := wi; fi < len(frontier); fi += w {
 					i := frontier[fi]
-					scratch.next(len(ts))
-					idx.candidates(i, ts[i].Cells, &scratch, func(j int) {
-						attempts[w]++
-						merged, ok := tryMerge(ts[i].Cells, ts[j].Cells)
+					scratch.next(len(c.tuples))
+					c.idx.candidates(i, c.tuples[i].Cells, &scratch, func(j int) {
+						attempts[wi]++
+						merged, ok := tryMerge(c.tuples[i].Cells, c.tuples[j].Cells)
 						if !ok {
 							return
 						}
 						out = append(out, proposal{
-							sig:   signature(merged),
 							cells: merged,
-							prov:  mergeProv(ts[i].Prov, ts[j].Prov),
+							prov:  mergeProv(c.tuples[i].Prov, c.tuples[j].Prov),
 						})
 					})
 				}
-				results[w] = out
-			}(w)
+				results[wi] = out
+			}(wi)
 		}
 		wg.Wait()
 
 		var all []proposal
-		for w, r := range results {
-			stats.MergeAttempts += attempts[w]
+		for wi, r := range results {
+			stats.MergeAttempts += attempts[wi]
 			all = append(all, r...)
 		}
 		// Deterministic apply order regardless of worker scheduling.
-		sort.Slice(all, func(a, b int) bool { return all[a].sig < all[b].sig })
+		sort.Slice(all, func(a, b int) bool { return c.eng.lessCells(all[a].cells, all[b].cells) })
 
 		frontier = frontier[:0]
 		for _, p := range all {
-			if at, exists := sigIdx[p.sig]; exists {
-				ts[at].Prov = mergeProv(ts[at].Prov, p.prov)
+			at, hash, exists := c.sigs.find(p.cells, c.tuples)
+			if exists {
+				c.tuples[at].Prov = mergeProv(c.tuples[at].Prov, p.prov)
 				continue
 			}
 			stats.Merges++
-			id := len(ts)
-			sigIdx[p.sig] = id
-			ts = append(ts, Tuple{Cells: p.cells, Prov: p.prov})
-			idx.add(id, p.cells)
+			id := len(c.tuples)
+			c.sigs.addHashed(hash, id)
+			c.tuples = append(c.tuples, Tuple{Cells: p.cells, Prov: p.prov})
+			c.idx.add(id, p.cells)
 			frontier = append(frontier, id)
-		}
-		if opts.MaxTuples > 0 && len(ts) > opts.MaxTuples {
-			return ErrTupleBudget
+			if err := c.bud.add(1); err != nil {
+				return err
+			}
 		}
 	}
-	*tuples = ts
 	return nil
 }

@@ -1,0 +1,57 @@
+package fd_test
+
+import (
+	"reflect"
+	"testing"
+
+	"fuzzyfd/internal/datagen"
+	"fuzzyfd/internal/fd"
+	"fuzzyfd/internal/table"
+)
+
+// Engine-equivalence coverage on realistic integration sets: the interned,
+// partitioned engine (sequential and component-parallel) must be
+// byte-identical — tables and provenance — to the flat global closure on
+// the datagen workloads, across seeds. The definitional-oracle comparison
+// lives in partition_test.go (the oracle caps at 16 outer-union tuples, so
+// it runs on small random sets); these tests cover the scale the oracle
+// cannot.
+func TestEnginesAgreeOnDatagenSets(t *testing.T) {
+	type gen struct {
+		name   string
+		tables func(seed int64) []*table.Table
+	}
+	gens := []gen{
+		{"imdb", func(seed int64) []*table.Table {
+			return datagen.IMDB(datagen.IMDBConfig{Seed: seed, TotalTuples: 900})
+		}},
+		{"embench", func(seed int64) []*table.Table {
+			return datagen.EMBench(datagen.EMConfig{Seed: seed, Entities: 60}).Tables
+		}},
+	}
+	for _, g := range gens {
+		for _, seed := range []int64{1, 7, 42} {
+			tables := g.tables(seed)
+			schema := fd.IdentitySchema(tables)
+			ref, err := fd.FullDisjunction(tables, schema, fd.Options{NoPartition: true})
+			if err != nil {
+				t.Fatalf("%s seed %d flat: %v", g.name, seed, err)
+			}
+			for _, opts := range []fd.Options{{}, {Workers: 4}} {
+				got, err := fd.FullDisjunction(tables, schema, opts)
+				if err != nil {
+					t.Fatalf("%s seed %d opts %+v: %v", g.name, seed, opts, err)
+				}
+				if !got.Table.Equal(ref.Table) {
+					t.Errorf("%s seed %d opts %+v: tables differ", g.name, seed, opts)
+				}
+				if !reflect.DeepEqual(got.Prov, ref.Prov) {
+					t.Errorf("%s seed %d opts %+v: provenance differs", g.name, seed, opts)
+				}
+				if opts.Workers == 0 && got.Stats.Components == 0 && got.Stats.OuterUnion > 0 {
+					t.Errorf("%s seed %d: partitioned engine reported no components", g.name, seed)
+				}
+			}
+		}
+	}
+}

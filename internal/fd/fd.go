@@ -7,6 +7,25 @@
 // and connected), and remove subsumed tuples so only maximal integration
 // results remain.
 //
+// # Engine architecture
+//
+// The engine is dictionary-encoded and component-partitioned:
+//
+//   - At outer-union time every distinct cell value is interned into a
+//     dense uint32 symbol (intern.Null = 0 is the null cell), so a Tuple's
+//     cells are a []uint32 and every hot-path operation — signature
+//     hashing, posting-index probes, merge/consistency checks, subsumption
+//     — runs on integer compares and FNV-1a hashes over symbol slices.
+//     Strings are decoded back only when the result table is materialized.
+//   - The outer union is split into connected components of the
+//     shares-an-equal-non-null-value graph (union-find over the posting
+//     lists). No complementation merge and no subsumption (bar the all-null
+//     tuple, handled globally) crosses a component boundary, so each
+//     component is closed and subsumption-reduced independently. With
+//     Options.Workers > 1 whole components are scheduled across workers;
+//     a single-component input falls back to round-based parallel closure
+//     (Paganelli et al. 2019 style) inside the component.
+//
 // Tuples carry provenance (the set of input tuple IDs they integrate), so
 // downstream tasks such as entity matching can trace every output row back
 // to its sources. When a subsumed tuple is removed its provenance is folded
@@ -18,9 +37,9 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"strings"
 	"time"
 
+	"fuzzyfd/internal/intern"
 	"fuzzyfd/internal/table"
 )
 
@@ -33,26 +52,64 @@ type TID struct {
 // String renders a TID like "t2.14".
 func (t TID) String() string { return fmt.Sprintf("t%d.%d", t.Table, t.Row) }
 
-// Tuple is one (possibly merged) tuple over the integrated schema.
+// Tuple is one (possibly merged) tuple over the integrated schema. Cells
+// are interned symbols from the computation's dictionary; intern.Null marks
+// a null cell. Decode symbols with the owning engine (Iterator.Decode for
+// streamed tuples).
 type Tuple struct {
-	Cells []table.Cell
+	Cells []uint32
 	Prov  []TID // sorted, unique
 }
 
-// signature is the canonical cell-value key used for deduplication and
-// deterministic ordering. Provenance is deliberately excluded: FD output is
-// a set of value tuples.
-func signature(cells []table.Cell) string {
-	var sb strings.Builder
-	for _, c := range cells {
-		if c.IsNull {
-			sb.WriteString("\x00N")
-		} else {
-			sb.WriteString("\x00V")
-			sb.WriteString(c.Val)
+// engine is the shared immutable state of one Full Disjunction
+// computation: the value dictionary built during the outer union and the
+// integrated schema width. All symbol decoding and value-order comparisons
+// go through it.
+type engine struct {
+	dict  *intern.Dict
+	nCols int
+}
+
+// lessCells orders tuples by cell values — null before any value, values by
+// string order, cell by cell. This is the canonical output order: it is
+// independent of symbol assignment, so every engine variant sorts results
+// identically.
+func (e *engine) lessCells(a, b []uint32) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return e.dict.Less(a[i], b[i])
 		}
 	}
-	return sb.String()
+	return false
+}
+
+// decodeRow materializes interned cells as table cells.
+func (e *engine) decodeRow(cells []uint32) table.Row {
+	row := make(table.Row, len(cells))
+	for i, sym := range cells {
+		if sym == intern.Null {
+			row[i] = table.Null()
+		} else {
+			row[i] = table.S(e.dict.Value(sym))
+		}
+	}
+	return row
+}
+
+// materialize sorts tuples into canonical value order and decodes them into
+// a Result.
+func (e *engine) materialize(kept []Tuple, schema Schema, stats Stats) *Result {
+	sort.Slice(kept, func(i, j int) bool {
+		return e.lessCells(kept[i].Cells, kept[j].Cells)
+	})
+	out := table.New("FD", schema.Columns...)
+	prov := make([][]TID, len(kept))
+	for i, tp := range kept {
+		out.Rows = append(out.Rows, e.decodeRow(tp.Cells))
+		prov[i] = tp.Prov
+	}
+	stats.Output = len(kept)
+	return &Result{Table: out, Prov: prov, Stats: stats}
 }
 
 // Schema maps each input table's columns onto the integrated (output)
@@ -113,13 +170,19 @@ func (s Schema) Validate(tables []*table.Table) error {
 
 // Options tunes the Full Disjunction computation.
 type Options struct {
-	// Workers > 1 enables the round-based parallel complementation
-	// (Paganelli et al. 2019 style). 0 or 1 runs sequentially.
+	// Workers > 1 closes connected components concurrently (whole
+	// components are scheduled across workers; a single-component input
+	// uses round-based parallel complementation inside the component).
+	// 0 or 1 runs sequentially.
 	Workers int
 	// MaxTuples aborts the computation if the closure exceeds this many
 	// tuples (a safety valve against pathological join blowup). 0 means
 	// unlimited.
 	MaxTuples int
+	// NoPartition disables connected-component partitioning and closes the
+	// outer union globally — the pre-partitioned engine, kept as an
+	// equivalence baseline and ablation. Partitioning is on by default.
+	NoPartition bool
 }
 
 // ErrTupleBudget is returned when the closure exceeds Options.MaxTuples.
@@ -129,6 +192,10 @@ var ErrTupleBudget = errors.New("fd: tuple budget exceeded")
 type Stats struct {
 	InputTuples   int
 	OuterUnion    int // tuples after outer union + dedup
+	Values        int // distinct non-null cell values interned
+	Components    int // connected components of the outer union (0 with NoPartition)
+	LargestComp   int // outer-union tuples in the largest component
+	LargestClose  int // closure tuples of the largest component (0 with NoPartition)
 	Merges        int // successful complementation merges
 	MergeAttempts int // candidate pairs tested
 	Closure       int // tuples after complementation closure
@@ -145,7 +212,7 @@ type Result struct {
 }
 
 // FullDisjunction integrates the tables under the given schema. The output
-// rows are sorted by cell signature, so results are deterministic and
+// rows are sorted by cell value order, so results are deterministic and
 // directly comparable across algorithm variants.
 func FullDisjunction(tables []*table.Table, schema Schema, opts Options) (*Result, error) {
 	start := time.Now()
@@ -157,63 +224,67 @@ func FullDisjunction(tables []*table.Table, schema Schema, opts Options) (*Resul
 		stats.InputTuples += len(t.Rows)
 	}
 
-	tuples, sigIdx := outerUnion(tables, schema)
+	eng, tuples, sigs := outerUnion(tables, schema)
 	stats.OuterUnion = len(tuples)
+	stats.Values = eng.dict.Len()
+	bud := newBudget(opts.MaxTuples, len(tuples))
 
-	var err error
-	if opts.Workers > 1 {
-		err = complementParallel(&tuples, sigIdx, len(schema.Columns), opts, &stats)
+	var kept []Tuple
+	if opts.NoPartition {
+		cl := newClosure(eng, tuples, sigs, bud)
+		var err error
+		if opts.Workers > 1 {
+			err = cl.runParallel(opts.Workers, &stats)
+		} else {
+			err = cl.run(&stats)
+		}
+		if err != nil {
+			return nil, err
+		}
+		stats.Closure = len(cl.tuples)
+		kept = eng.subsume(cl.tuples)
 	} else {
-		err = complementSequential(&tuples, sigIdx, len(schema.Columns), opts, &stats)
+		comps := eng.partition(tuples)
+		stats.Components = len(comps)
+		var err error
+		kept, err = eng.closeComponents(comps, opts, bud, &stats)
+		if err != nil {
+			return nil, err
+		}
+		kept = eng.foldAllNull(kept)
 	}
-	if err != nil {
-		return nil, err
-	}
-	stats.Closure = len(tuples)
-
-	kept := subsume(tuples, len(schema.Columns))
 	stats.Subsumed = stats.Closure - len(kept)
-	stats.Output = len(kept)
 
-	sort.Slice(kept, func(i, j int) bool {
-		return signature(kept[i].Cells) < signature(kept[j].Cells)
-	})
-
-	out := table.New("FD", schema.Columns...)
-	prov := make([][]TID, len(kept))
-	for i, tp := range kept {
-		out.Rows = append(out.Rows, table.Row(tp.Cells))
-		prov[i] = tp.Prov
-	}
 	stats.Elapsed = time.Since(start)
-	return &Result{Table: out, Prov: prov, Stats: stats}, nil
+	return eng.materialize(kept, schema, stats), nil
 }
 
-// outerUnion projects every input row onto the integrated schema and
-// deduplicates by cell signature, unioning provenance.
-func outerUnion(tables []*table.Table, schema Schema) ([]Tuple, map[string]int) {
+// outerUnion projects every input row onto the integrated schema, interning
+// each distinct cell value into a fresh dictionary, and deduplicates by
+// cell signature, unioning provenance.
+func outerUnion(tables []*table.Table, schema Schema) (*engine, []Tuple, *sigIndex) {
+	eng := &engine{dict: intern.NewDict(), nCols: len(schema.Columns)}
 	var tuples []Tuple
-	sigIdx := make(map[string]int)
+	sigs := newSigIndex()
 	for ti, t := range tables {
 		for ri, row := range t.Rows {
-			cells := make([]table.Cell, len(schema.Columns))
-			for i := range cells {
-				cells[i] = table.Null()
-			}
+			cells := make([]uint32, eng.nCols) // zero-valued = all null
 			for ci, cell := range row {
-				cells[schema.Mapping[ti][ci]] = cell
+				if !cell.IsNull {
+					cells[schema.Mapping[ti][ci]] = eng.dict.Intern(cell.Val)
+				}
 			}
-			sig := signature(cells)
 			tid := TID{Table: ti, Row: ri}
-			if at, ok := sigIdx[sig]; ok {
+			at, hash, ok := sigs.find(cells, tuples)
+			if ok {
 				tuples[at].Prov = mergeProv(tuples[at].Prov, []TID{tid})
 				continue
 			}
-			sigIdx[sig] = len(tuples)
+			sigs.addHashed(hash, len(tuples))
 			tuples = append(tuples, Tuple{Cells: cells, Prov: []TID{tid}})
 		}
 	}
-	return tuples, sigIdx
+	return eng, tuples, sigs
 }
 
 // mergeProv unions two sorted TID slices.
@@ -250,13 +321,13 @@ func tidLess(a, b TID) bool {
 // different non-null values) and connected (at least one attribute is
 // non-null and equal in both). Returns the merged cells and true on
 // success.
-func tryMerge(a, b []table.Cell) ([]table.Cell, bool) {
+func tryMerge(a, b []uint32) ([]uint32, bool) {
 	connected := false
 	for i := range a {
-		if a[i].IsNull || b[i].IsNull {
+		if a[i] == intern.Null || b[i] == intern.Null {
 			continue
 		}
-		if a[i].Val != b[i].Val {
+		if a[i] != b[i] {
 			return nil, false
 		}
 		connected = true
@@ -264,9 +335,9 @@ func tryMerge(a, b []table.Cell) ([]table.Cell, bool) {
 	if !connected {
 		return nil, false
 	}
-	out := make([]table.Cell, len(a))
+	out := make([]uint32, len(a))
 	for i := range a {
-		if a[i].IsNull {
+		if a[i] == intern.Null {
 			out[i] = b[i]
 		} else {
 			out[i] = a[i]
@@ -279,18 +350,33 @@ func tryMerge(a, b []table.Cell) ([]table.Cell, bool) {
 // appears identically in u, and u carries strictly more information (more
 // non-null cells; equal-information duplicates are already removed by
 // signature dedup).
-func subsumes(u, t []table.Cell) bool {
+func subsumes(u, t []uint32) bool {
 	extra := false
 	for i := range t {
-		if t[i].IsNull {
-			if !u[i].IsNull {
+		if t[i] == intern.Null {
+			if u[i] != intern.Null {
 				extra = true
 			}
 			continue
 		}
-		if u[i].IsNull || u[i].Val != t[i].Val {
+		if u[i] != t[i] {
 			return false
 		}
 	}
 	return extra
 }
+
+// nonNullCount reports the number of informative cells of a tuple.
+func nonNullCount(cells []uint32) int {
+	n := 0
+	for _, c := range cells {
+		if c != intern.Null {
+			n++
+		}
+	}
+	return n
+}
+
+// allNull reports whether a tuple carries no information (possible only
+// for fully-empty input rows).
+func allNull(cells []uint32) bool { return nonNullCount(cells) == 0 }

@@ -346,7 +346,7 @@ func TestFDInvariants(t *testing.T) {
 		rows := res.Table.Rows
 		for i := range rows {
 			for j := range rows {
-				if i != j && subsumes(rows[i], rows[j]) {
+				if i != j && subsumesRows(rows[i], rows[j]) {
 					return false
 				}
 			}
@@ -421,39 +421,51 @@ func TestTIDString(t *testing.T) {
 	}
 }
 
-// Fuzz-ish check of tryMerge semantics.
+// Fuzz-ish check of tryMerge semantics, on raw symbols (0 = null).
 func TestTryMerge(t *testing.T) {
-	n := table.Null()
-	v := func(s string) table.Cell { return table.S(s) }
-
 	// Consistent and connected.
-	m, ok := tryMerge([]table.Cell{v("1"), n, v("2")}, []table.Cell{v("1"), v("3"), n})
-	if !ok || m[0].Val != "1" || m[1].Val != "3" || m[2].Val != "2" {
+	m, ok := tryMerge([]uint32{1, 0, 2}, []uint32{1, 3, 0})
+	if !ok || m[0] != 1 || m[1] != 3 || m[2] != 2 {
 		t.Errorf("merge=%v ok=%v", m, ok)
 	}
 	// Conflict.
-	if _, ok := tryMerge([]table.Cell{v("1")}, []table.Cell{v("2")}); ok {
+	if _, ok := tryMerge([]uint32{1}, []uint32{2}); ok {
 		t.Error("conflicting tuples merged")
 	}
 	// Disconnected (no shared non-null attribute).
-	if _, ok := tryMerge([]table.Cell{v("1"), n}, []table.Cell{n, v("2")}); ok {
+	if _, ok := tryMerge([]uint32{1, 0}, []uint32{0, 2}); ok {
 		t.Error("disconnected tuples merged")
 	}
 }
 
 func TestSubsumes(t *testing.T) {
-	n := table.Null()
-	v := func(s string) table.Cell { return table.S(s) }
-	if !subsumes([]table.Cell{v("1"), v("2")}, []table.Cell{v("1"), n}) {
+	if !subsumes([]uint32{1, 2}, []uint32{1, 0}) {
 		t.Error("strict subsumption missed")
 	}
-	if subsumes([]table.Cell{v("1"), v("2")}, []table.Cell{v("1"), v("2")}) {
+	if subsumes([]uint32{1, 2}, []uint32{1, 2}) {
 		t.Error("equal tuples must not subsume (strictness)")
 	}
-	if subsumes([]table.Cell{v("1"), n}, []table.Cell{v("1"), v("2")}) {
+	if subsumes([]uint32{1, 0}, []uint32{1, 2}) {
 		t.Error("less-informative tuple cannot subsume")
 	}
-	if subsumes([]table.Cell{v("1"), v("3")}, []table.Cell{v("1"), v("2")}) {
+	if subsumes([]uint32{1, 3}, []uint32{1, 2}) {
 		t.Error("conflicting tuple cannot subsume")
+	}
+}
+
+func TestSubsumesRows(t *testing.T) {
+	n := table.Null()
+	v := func(s string) table.Cell { return table.S(s) }
+	if !subsumesRows(table.Row{v("1"), v("2")}, table.Row{v("1"), n}) {
+		t.Error("strict subsumption missed")
+	}
+	if subsumesRows(table.Row{v("1"), v("2")}, table.Row{v("1"), v("2")}) {
+		t.Error("equal rows must not subsume (strictness)")
+	}
+	if subsumesRows(table.Row{v("1"), n}, table.Row{v("1"), v("2")}) {
+		t.Error("less-informative row cannot subsume")
+	}
+	if subsumesRows(table.Row{v("1"), v("3")}, table.Row{v("1"), v("2")}) {
+		t.Error("conflicting row cannot subsume")
 	}
 }

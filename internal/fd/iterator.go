@@ -8,19 +8,20 @@ import (
 
 // Iterator streams Full Disjunction output tuples component by component,
 // in the spirit of the polynomial-delay FD iterators of Cohen et al.
-// (VLDB 2006): the outer-union tuples partition into connected components
-// of the shares-an-equal-value graph; no complementation merge and no
-// subsumption crosses a component boundary, so each component's FD can be
-// computed — and its tuples emitted — independently. Results are available
-// after closing only the first component rather than the whole input, and
-// peak memory holds one component's closure at a time.
+// (VLDB 2006). It reuses the engine's connected-component partitioner: no
+// complementation merge and no subsumption crosses a component boundary,
+// so each component's FD can be computed — and its tuples emitted —
+// independently. Results are available after closing only the first
+// component rather than the whole input, and peak memory holds one
+// component's closure at a time.
 //
 // The emission order is deterministic: components in order of their
-// smallest tuple signature, tuples within a component in signature order.
+// smallest tuple (value order), tuples within a component in value order.
 // The concatenation of all emissions equals FullDisjunction's output (up
-// to row order).
+// to row order). Streamed tuples carry interned cells; use Decode to
+// materialize them.
 type Iterator struct {
-	schema     Schema
+	eng        *engine
 	opts       Options
 	components [][]Tuple
 	next       int     // next component index
@@ -35,12 +36,18 @@ func NewIterator(tables []*table.Table, schema Schema, opts Options) (*Iterator,
 	if err := schema.Validate(tables); err != nil {
 		return nil, err
 	}
-	base, _ := outerUnion(tables, schema)
-	return &Iterator{
-		schema:     schema,
-		opts:       opts,
-		components: splitComponents(base, len(schema.Columns)),
-	}, nil
+	eng, base, _ := outerUnion(tables, schema)
+	comps := eng.partition(base)
+	// Emission order: smallest tuple first, within and across components.
+	for _, comp := range comps {
+		sort.Slice(comp, func(a, b int) bool {
+			return eng.lessCells(comp[a].Cells, comp[b].Cells)
+		})
+	}
+	sort.Slice(comps, func(a, b int) bool {
+		return eng.lessCells(comps[a][0].Cells, comps[b][0].Cells)
+	})
+	return &Iterator{eng: eng, opts: opts, components: comps}, nil
 }
 
 // Next returns the next FD output tuple, or false when iteration is done
@@ -55,12 +62,12 @@ func (it *Iterator) Next() (Tuple, bool) {
 		// A fully-null tuple (from an empty input row) is subsumed by any
 		// informative tuple in the global result; skip it whenever any
 		// other component exists, matching FullDisjunction's output cells.
-		// (Its provenance folds into an arbitrary subsumer there — the one
-		// semantic difference of streaming, documented on the type.)
+		// (Its provenance folds into a subsumer there — the one semantic
+		// difference of streaming, documented on the type.)
 		if len(it.components) > 1 && len(comp) == 1 && allNull(comp[0].Cells) {
 			continue
 		}
-		closed, err := closeComponent(comp, len(it.schema.Columns), it.opts)
+		closed, err := it.closeComponent(comp)
 		if err != nil {
 			it.err = err
 			return Tuple{}, false
@@ -81,104 +88,22 @@ func (it *Iterator) Err() error { return it.err }
 // into.
 func (it *Iterator) Components() int { return len(it.components) }
 
-func allNull(cells []table.Cell) bool {
-	for _, c := range cells {
-		if !c.IsNull {
-			return false
-		}
-	}
-	return true
-}
-
-// splitComponents groups outer-union tuples into connected components of
-// the shares-an-equal-non-null-value relation. All-null tuples (possible
-// only from fully empty rows) form their own singleton components.
-func splitComponents(base []Tuple, nCols int) [][]Tuple {
-	if len(base) == 0 {
-		return nil
-	}
-	uf := newUnionFind(len(base))
-	idx := newPostingIndex(nCols)
-	for i := range base {
-		idx.add(i, base[i].Cells)
-	}
-	for _, col := range idx.byCol {
-		for _, posting := range col {
-			for _, j := range posting[1:] {
-				uf.union(posting[0], j)
-			}
-		}
-	}
-	groups := make(map[int][]Tuple)
-	for i := range base {
-		r := uf.find(i)
-		groups[r] = append(groups[r], base[i])
-	}
-	comps := make([][]Tuple, 0, len(groups))
-	for _, g := range groups {
-		sort.Slice(g, func(a, b int) bool {
-			return signature(g[a].Cells) < signature(g[b].Cells)
-		})
-		comps = append(comps, g)
-	}
-	sort.Slice(comps, func(a, b int) bool {
-		return signature(comps[a][0].Cells) < signature(comps[b][0].Cells)
-	})
-	return comps
-}
+// Decode materializes a streamed tuple's interned cells as table cells.
+func (it *Iterator) Decode(t Tuple) table.Row { return it.eng.decodeRow(t.Cells) }
 
 // closeComponent runs complementation closure and subsumption removal on
-// one component.
-func closeComponent(comp []Tuple, nCols int, opts Options) ([]Tuple, error) {
-	tuples := make([]Tuple, len(comp))
-	copy(tuples, comp)
-	sigIdx := make(map[string]int, len(tuples))
-	for i := range tuples {
-		sigIdx[signature(tuples[i].Cells)] = i
-	}
+// one component. The tuple budget applies per component — the iterator's
+// point is that one pathological component must not block results from the
+// healthy ones before it.
+func (it *Iterator) closeComponent(comp []Tuple) ([]Tuple, error) {
+	cl := newComponentClosure(it.eng, comp, newBudget(it.opts.MaxTuples, len(comp)))
 	var stats Stats
-	if err := complementSequential(&tuples, sigIdx, nCols, opts, &stats); err != nil {
+	if err := cl.run(&stats); err != nil {
 		return nil, err
 	}
-	kept := subsume(tuples, nCols)
+	kept := it.eng.subsume(cl.tuples)
 	sort.Slice(kept, func(i, j int) bool {
-		return signature(kept[i].Cells) < signature(kept[j].Cells)
+		return it.eng.lessCells(kept[i].Cells, kept[j].Cells)
 	})
 	return kept, nil
-}
-
-// unionFind is duplicated in internal/assign for its own use; this copy
-// keeps the packages independent.
-type unionFind struct {
-	parent []int
-	size   []int
-}
-
-func newUnionFind(n int) *unionFind {
-	uf := &unionFind{parent: make([]int, n), size: make([]int, n)}
-	for i := range uf.parent {
-		uf.parent[i] = i
-		uf.size[i] = 1
-	}
-	return uf
-}
-
-func (u *unionFind) find(x int) int {
-	for u.parent[x] != x {
-		u.parent[x] = u.parent[u.parent[x]]
-		x = u.parent[x]
-	}
-	return x
-}
-
-func (u *unionFind) union(a, b int) {
-	ra, rb := u.find(a), u.find(b)
-	if ra == rb {
-		return
-	}
-	if u.size[ra] < u.size[rb] {
-		ra, rb = rb, ra
-	}
-	u.parent[rb] = ra
-	u.size[ra] += u.size[rb]
 }

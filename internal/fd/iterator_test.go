@@ -64,7 +64,7 @@ func TestIteratorMatchesBatch(t *testing.T) {
 		}
 		stream := table.New("FD", schema.Columns...)
 		for _, tp := range streamed {
-			stream.Rows = append(stream.Rows, table.Row(tp.Cells))
+			stream.Rows = append(stream.Rows, it.Decode(tp))
 		}
 		return stream.EqualRowsUnordered(batch.Table)
 	}
@@ -137,8 +137,8 @@ func TestIteratorStreamsBeforeFailure(t *testing.T) {
 	if !ok {
 		t.Fatalf("no first tuple (err=%v)", it.Err())
 	}
-	if di := 3; first.Cells[di].IsNull || first.Cells[di].Val != "k1" {
-		t.Errorf("first tuple=%v", first.Cells)
+	if row, di := it.Decode(first), 3; row[di].IsNull || row[di].Val != "k1" {
+		t.Errorf("first tuple=%v", row)
 	}
 	drain(it)
 	if !errors.Is(it.Err(), ErrTupleBudget) {

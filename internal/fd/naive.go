@@ -2,8 +2,8 @@ package fd
 
 import (
 	"errors"
-	"sort"
 
+	"fuzzyfd/internal/intern"
 	"fuzzyfd/internal/table"
 )
 
@@ -25,7 +25,7 @@ func NaiveFD(tables []*table.Table, schema Schema) (*Result, error) {
 	if err := schema.Validate(tables); err != nil {
 		return nil, err
 	}
-	base, _ := outerUnion(tables, schema)
+	eng, base, _ := outerUnion(tables, schema)
 	n := len(base)
 	if n > 16 {
 		return nil, ErrOracleTooLarge
@@ -46,10 +46,10 @@ func NaiveFD(tables []*table.Table, schema Schema) (*Result, error) {
 			conn := false
 			for c := 0; c < nCols; c++ {
 				a, b := base[i].Cells[c], base[j].Cells[c]
-				if a.IsNull || b.IsNull {
+				if a == intern.Null || b == intern.Null {
 					continue
 				}
-				if a.Val != b.Val {
+				if a != b {
 					ok = false
 					break
 				}
@@ -94,18 +94,15 @@ func NaiveFD(tables []*table.Table, schema Schema) (*Result, error) {
 	}
 
 	joinOf := func(mask uint32) Tuple {
-		cells := make([]table.Cell, nCols)
-		for c := range cells {
-			cells[c] = table.Null()
-		}
+		cells := make([]uint32, nCols) // zero-valued = all null
 		var prov []TID
 		for i := 0; i < n; i++ {
 			if mask&(1<<i) == 0 {
 				continue
 			}
-			for c, cell := range base[i].Cells {
-				if !cell.IsNull {
-					cells[c] = cell
+			for c, sym := range base[i].Cells {
+				if sym != intern.Null {
+					cells[c] = sym
 				}
 			}
 			prov = mergeProv(prov, base[i].Prov)
@@ -114,31 +111,22 @@ func NaiveFD(tables []*table.Table, schema Schema) (*Result, error) {
 	}
 
 	// Collect joins of all valid non-empty subsets, deduping by signature.
-	sigIdx := make(map[string]int)
+	sigs := newSigIndex()
 	var tuples []Tuple
 	for mask := uint32(1); mask < 1<<n; mask++ {
 		if !isValid(mask) {
 			continue
 		}
 		t := joinOf(mask)
-		sig := signature(t.Cells)
-		if at, ok := sigIdx[sig]; ok {
+		at, hash, ok := sigs.find(t.Cells, tuples)
+		if ok {
 			tuples[at].Prov = mergeProv(tuples[at].Prov, t.Prov)
 			continue
 		}
-		sigIdx[sig] = len(tuples)
+		sigs.addHashed(hash, len(tuples))
 		tuples = append(tuples, t)
 	}
 
-	kept := subsume(tuples, nCols)
-	sort.Slice(kept, func(i, j int) bool {
-		return signature(kept[i].Cells) < signature(kept[j].Cells)
-	})
-	out := table.New("FD", schema.Columns...)
-	prov := make([][]TID, len(kept))
-	for i, tp := range kept {
-		out.Rows = append(out.Rows, table.Row(tp.Cells))
-		prov[i] = tp.Prov
-	}
-	return &Result{Table: out, Prov: prov, Stats: Stats{Output: len(kept)}}, nil
+	kept := eng.subsume(tuples)
+	return eng.materialize(kept, schema, Stats{}), nil
 }

@@ -2,7 +2,6 @@ package fd
 
 import (
 	"fmt"
-	"sort"
 
 	"fuzzyfd/internal/table"
 )
@@ -14,6 +13,7 @@ import (
 // chain of binary outer joins (combines, but is order-dependent — the very
 // deficiency FD was introduced to fix). They exist as runnable baselines
 // for the information-preservation comparison in the experiment harness.
+// Like FullDisjunction they run on interned symbols end to end.
 
 // InnerJoin computes the natural inner join of the integration set over
 // the integrated schema: one tuple per table, pairwise consistent, and
@@ -28,9 +28,8 @@ func InnerJoin(tables []*table.Table, schema Schema, opts Options) (*Result, err
 	for _, t := range tables {
 		stats.InputTuples += len(t.Rows)
 	}
-	base, _ := outerUnion(tables, schema)
+	eng, base, _ := outerUnion(tables, schema)
 	stats.OuterUnion = len(base)
-	nCols := len(schema.Columns)
 
 	perTable := make([][]Tuple, len(tables))
 	for ti := range tables {
@@ -46,7 +45,7 @@ func InnerJoin(tables []*table.Table, schema Schema, opts Options) (*Result, err
 		result = perTable[0]
 	}
 	for _, right := range perTable[1:] {
-		idx := newPostingIndex(nCols)
+		idx := newPostingIndex(eng.nCols)
 		for j := range right {
 			idx.add(j, right[j].Cells)
 		}
@@ -69,7 +68,7 @@ func InnerJoin(tables []*table.Table, schema Schema, opts Options) (*Result, err
 			return nil, ErrTupleBudget
 		}
 	}
-	return finalizeResult(result, schema, stats), nil
+	return eng.materialize(result, schema, stats), nil
 }
 
 // OuterUnionOnly computes the plain outer union: every input tuple padded
@@ -83,9 +82,9 @@ func OuterUnionOnly(tables []*table.Table, schema Schema) (*Result, error) {
 	for _, t := range tables {
 		stats.InputTuples += len(t.Rows)
 	}
-	base, _ := outerUnion(tables, schema)
+	eng, base, _ := outerUnion(tables, schema)
 	stats.OuterUnion = len(base)
-	return finalizeResult(base, schema, stats), nil
+	return eng.materialize(base, schema, stats), nil
 }
 
 // OuterJoinChain computes left-deep binary full outer joins in the given
@@ -109,9 +108,8 @@ func OuterJoinChain(tables []*table.Table, schema Schema, order []int, opts Opti
 	for _, t := range tables {
 		stats.InputTuples += len(t.Rows)
 	}
-	base, _ := outerUnion(tables, schema)
+	eng, base, _ := outerUnion(tables, schema)
 	stats.OuterUnion = len(base)
-	nCols := len(schema.Columns)
 
 	perTable := make([][]Tuple, len(tables))
 	for ti := range tables {
@@ -127,43 +125,28 @@ func OuterJoinChain(tables []*table.Table, schema Schema, order []int, opts Opti
 		result = perTable[order[0]]
 	}
 	for _, ti := range order[1:] {
-		result = fullOuterJoin(result, perTable[ti], nCols, &stats)
+		result = fullOuterJoin(result, perTable[ti], eng.nCols, &stats)
 		if opts.MaxTuples > 0 && len(result) > opts.MaxTuples {
 			return nil, ErrTupleBudget
 		}
 	}
-	return finalizeResult(dedupeTuples(result), schema, stats), nil
+	return eng.materialize(dedupeTuples(result), schema, stats), nil
 }
 
 // dedupeTuples merges tuples with identical cells, unioning provenance.
 func dedupeTuples(tuples []Tuple) []Tuple {
-	seen := make(map[string]int, len(tuples))
+	seen := newSigIndex()
 	out := tuples[:0]
 	for _, t := range tuples {
-		sig := signature(t.Cells)
-		if at, ok := seen[sig]; ok {
+		at, hash, ok := seen.find(t.Cells, out)
+		if ok {
 			out[at].Prov = mergeProv(out[at].Prov, t.Prov)
 			continue
 		}
-		seen[sig] = len(out)
+		seen.addHashed(hash, len(out))
 		out = append(out, t)
 	}
 	return out
-}
-
-// finalizeResult sorts tuples deterministically and packages a Result.
-func finalizeResult(tuples []Tuple, schema Schema, stats Stats) *Result {
-	sort.Slice(tuples, func(i, j int) bool {
-		return signature(tuples[i].Cells) < signature(tuples[j].Cells)
-	})
-	stats.Output = len(tuples)
-	out := table.New("FD", schema.Columns...)
-	prov := make([][]TID, len(tuples))
-	for i, tp := range tuples {
-		out.Rows = append(out.Rows, table.Row(tp.Cells))
-		prov[i] = tp.Prov
-	}
-	return &Result{Table: out, Prov: prov, Stats: stats}
 }
 
 // Coverage reports what fraction of the input tuples is represented in the

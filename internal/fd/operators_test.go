@@ -132,7 +132,7 @@ func TestOperatorHierarchy(t *testing.T) {
 		for _, row := range inner.Table.Rows {
 			covered := false
 			for _, frow := range full.Table.Rows {
-				if rowsEqual(row, frow) || subsumes(frow, row) {
+				if rowsEqual(row, frow) || subsumesRows(frow, row) {
 					covered = true
 					break
 				}

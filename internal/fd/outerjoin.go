@@ -40,9 +40,8 @@ func OuterJoinFD(tables []*table.Table, schema Schema, opts Options) (*Result, e
 		stats.InputTuples += len(t.Rows)
 	}
 
-	base, _ := outerUnion(tables, schema)
+	eng, base, _ := outerUnion(tables, schema)
 	stats.OuterUnion = len(base)
-	nCols := len(schema.Columns)
 
 	// Group padded tuples by source table.
 	perTable := make([][]Tuple, len(tables))
@@ -54,22 +53,22 @@ func OuterJoinFD(tables []*table.Table, schema Schema, opts Options) (*Result, e
 		}
 	}
 
-	sigIdx := make(map[string]int)
+	sigs := newSigIndex()
 	var acc []Tuple
 	addTuple := func(t Tuple) {
-		sig := signature(t.Cells)
-		if at, ok := sigIdx[sig]; ok {
+		at, hash, ok := sigs.find(t.Cells, acc)
+		if ok {
 			acc[at].Prov = mergeProv(acc[at].Prov, t.Prov)
 			return
 		}
-		sigIdx[sig] = len(acc)
+		sigs.addHashed(hash, len(acc))
 		acc = append(acc, t)
 	}
 
 	for _, order := range permutations(len(tables)) {
 		result := perTable[order[0]]
 		for _, ti := range order[1:] {
-			result = fullOuterJoin(result, perTable[ti], nCols, &stats)
+			result = fullOuterJoin(result, perTable[ti], eng.nCols, &stats)
 			if opts.MaxTuples > 0 && len(result) > opts.MaxTuples {
 				return nil, ErrTupleBudget
 			}
@@ -83,20 +82,9 @@ func OuterJoinFD(tables []*table.Table, schema Schema, opts Options) (*Result, e
 	}
 	stats.Closure = len(acc)
 
-	kept := subsume(acc, nCols)
+	kept := eng.subsume(acc)
 	stats.Subsumed = stats.Closure - len(kept)
-	stats.Output = len(kept)
-	sort.Slice(kept, func(i, j int) bool {
-		return signature(kept[i].Cells) < signature(kept[j].Cells)
-	})
-
-	out := table.New("FD", schema.Columns...)
-	prov := make([][]TID, len(kept))
-	for i, tp := range kept {
-		out.Rows = append(out.Rows, table.Row(tp.Cells))
-		prov[i] = tp.Prov
-	}
-	return &Result{Table: out, Prov: prov, Stats: stats}, nil
+	return eng.materialize(kept, schema, stats), nil
 }
 
 func provHasTable(prov []TID, ti int) bool {
@@ -145,18 +133,7 @@ func fullOuterJoin(left, right []Tuple, nCols int, stats *Stats) []Tuple {
 		}
 	}
 	// Deduplicate within the join result.
-	seen := make(map[string]int, len(out))
-	dedup := out[:0]
-	for _, t := range out {
-		sig := signature(t.Cells)
-		if at, ok := seen[sig]; ok {
-			dedup[at].Prov = mergeProv(dedup[at].Prov, t.Prov)
-			continue
-		}
-		seen[sig] = len(dedup)
-		dedup = append(dedup, t)
-	}
-	return dedup
+	return dedupeTuples(out)
 }
 
 // permutations enumerates all orderings of 0..n-1 in lexicographic order.
@@ -180,7 +157,6 @@ func permutations(n int) [][]int {
 			rec(k + 1)
 			cur[k], cur[i] = cur[i], cur[k]
 		}
-		return
 	}
 	rec(0)
 	// The swap enumeration is not lexicographic; sort for determinism.

@@ -79,7 +79,7 @@ func TestOuterJoinFDNeverOverproduces(t *testing.T) {
 		for _, row := range oj.Table.Rows {
 			covered := false
 			for _, frow := range full.Table.Rows {
-				if rowsEqual(row, frow) || subsumes(frow, row) {
+				if rowsEqual(row, frow) || subsumesRows(frow, row) {
 					covered = true
 					break
 				}

@@ -1,0 +1,271 @@
+package fd
+
+import (
+	"sort"
+	"sync"
+
+	"fuzzyfd/internal/intern"
+)
+
+// Connected-component partitioning of the outer union, over the MERGEABLE
+// pair graph: tuples a and b are adjacent iff they are consistent (no
+// column holds two different non-null values) and connected (they share an
+// equal non-null value) — exactly the pairs complementation can merge.
+// This graph confines every interaction of the closure:
+//
+//   - Merges never leave a component. If a closure tuple c (c = join of
+//     base tuples of component D) merges with m (join of base tuples of
+//     component C), c shares a value v with m; v originates from bases
+//     x ∈ D and a ∈ C, and c ⊇ x consistent with m ⊇ a makes x and a
+//     consistent — so (x, a) is a mergeable pair and C = D. By induction
+//     over the merge order, the closure decomposes per component.
+//   - Subsumption never leaves a component: a subsumer agrees on every
+//     non-null cell of the subsumed tuple and the subsumed tuple has at
+//     least one (all-null tuples are singleton components, folded globally
+//     by engine.foldAllNull), so the two are a mergeable pair.
+//   - Signature dedup never needs to look across components: if closures
+//     of two components could produce identical cells X, then each
+//     non-null column of X would be witnessed by a base tuple on both
+//     sides; the two witnesses of one column share that value and agree
+//     with X wherever non-null, making them a mergeable pair across the
+//     components — a contradiction.
+//
+// The weaker shares-a-value relation would also be sound but collapses on
+// data-lake inputs: one low-selectivity column (a year, a genre) chains
+// every tuple into a single giant component even though almost no pairs
+// can actually merge. The mergeable relation keeps components aligned with
+// the real join structure.
+//
+// Candidate pairs are enumerated from the posting lists (adjacent tuples
+// share a value, so every edge appears in some list) with two prunes:
+// pairs already in one component skip the consistency check, and each
+// pair is checked at most once per list.
+
+// unionFind is a disjoint-set forest with path halving and union by size.
+// (internal/assign carries its own copy for its purposes; this one stays
+// here to keep the packages independent.)
+type unionFind struct {
+	parent []int
+	size   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), size: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+}
+
+// consistentCells reports whether two tuples agree on every column where
+// both are non-null. Tuples drawn from the same posting list already share
+// an equal non-null value, so for them consistency alone decides
+// mergeability.
+func consistentCells(a, b []uint32) bool {
+	for i := range a {
+		if a[i] != intern.Null && b[i] != intern.Null && a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// partition groups outer-union tuples into connected components of the
+// mergeable-pair relation. Components are ordered by their smallest member
+// (outer-union order) and keep their members in that order, so the result
+// is deterministic. All-null tuples (possible only from fully-empty input
+// rows) form singleton components.
+func (e *engine) partition(tuples []Tuple) [][]Tuple {
+	if len(tuples) == 0 {
+		return nil
+	}
+	uf := newUnionFind(len(tuples))
+	idx := newPostingIndex(e.nCols)
+	for i := range tuples {
+		idx.add(i, tuples[i].Cells)
+	}
+	for _, col := range idx.byCol {
+		for _, posting := range col {
+			for pi, i := range posting {
+				for _, j := range posting[pi+1:] {
+					if uf.find(i) != uf.find(j) && consistentCells(tuples[i].Cells, tuples[j].Cells) {
+						uf.union(i, j)
+					}
+				}
+			}
+		}
+	}
+	// Number components by first-seen root so the grouping is independent
+	// of map iteration order.
+	compOf := make(map[int]int)
+	var comps [][]Tuple
+	for i := range tuples {
+		r := uf.find(i)
+		ci, ok := compOf[r]
+		if !ok {
+			ci = len(comps)
+			compOf[r] = ci
+			comps = append(comps, nil)
+		}
+		comps[ci] = append(comps[ci], tuples[i])
+	}
+	return comps
+}
+
+// closeComponents runs complementation closure and subsumption removal on
+// every component and concatenates the surviving tuples in component
+// order. With opts.Workers > 1 whole components are scheduled across
+// workers, largest first so the long poles start early; a single-component
+// input instead falls back to round-based parallel closure inside the
+// component. The shared budget bounds the total tuple count across all
+// components, matching the global engine's Options.MaxTuples semantics.
+func (e *engine) closeComponents(comps [][]Tuple, opts Options, bud *budget, stats *Stats) ([]Tuple, error) {
+	for _, comp := range comps {
+		if len(comp) > stats.LargestComp {
+			stats.LargestComp = len(comp)
+		}
+	}
+
+	if opts.Workers > 1 && len(comps) == 1 {
+		cl := newComponentClosure(e, comps[0], bud)
+		if err := cl.runParallel(opts.Workers, stats); err != nil {
+			return nil, err
+		}
+		stats.Closure = len(cl.tuples)
+		stats.LargestClose = len(cl.tuples)
+		return e.subsume(cl.tuples), nil
+	}
+
+	type compResult struct {
+		kept    []Tuple
+		stats   Stats
+		closure int
+		err     error
+	}
+	closeOne := func(comp []Tuple) compResult {
+		if len(comp) == 1 {
+			// A singleton component is its own closure and its own maximal
+			// tuple; skip the index setup entirely (data-lake inputs produce
+			// thousands of these).
+			if bud.exceeded() {
+				return compResult{err: ErrTupleBudget}
+			}
+			return compResult{kept: comp, closure: 1}
+		}
+		cl := newComponentClosure(e, comp, bud)
+		var st Stats
+		if err := cl.run(&st); err != nil {
+			return compResult{err: err}
+		}
+		return compResult{kept: e.subsume(cl.tuples), stats: st, closure: len(cl.tuples)}
+	}
+
+	results := make([]compResult, len(comps))
+	workers := opts.Workers
+	if workers > len(comps) {
+		workers = len(comps)
+	}
+	if workers <= 1 {
+		for ci, comp := range comps {
+			results[ci] = closeOne(comp)
+			if results[ci].err != nil {
+				return nil, results[ci].err
+			}
+		}
+	} else {
+		// Dispatch largest components first for balance; results land in
+		// component order, so scheduling never affects the output.
+		order := make([]int, len(comps))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return len(comps[order[a]]) > len(comps[order[b]])
+		})
+		feed := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ci := range feed {
+					results[ci] = closeOne(comps[ci])
+				}
+			}()
+		}
+		for _, ci := range order {
+			feed <- ci
+		}
+		close(feed)
+		wg.Wait()
+	}
+
+	var kept []Tuple
+	for ci := range results {
+		r := &results[ci]
+		if r.err != nil {
+			return nil, r.err
+		}
+		stats.Merges += r.stats.Merges
+		stats.MergeAttempts += r.stats.MergeAttempts
+		stats.Closure += r.closure
+		if r.closure > stats.LargestClose {
+			stats.LargestClose = r.closure
+		}
+		kept = append(kept, r.kept...)
+	}
+	return kept, nil
+}
+
+// foldAllNull removes a surviving all-null tuple when any informative tuple
+// exists, folding its provenance into the canonical global subsumer — the
+// most informative kept tuple, ties by value order. This mirrors
+// engine.subsume's all-null rule at global scope: the all-null tuple is the
+// one tuple whose subsumers live outside its own (singleton) component.
+func (e *engine) foldAllNull(kept []Tuple) []Tuple {
+	at := -1
+	for i := range kept {
+		if allNull(kept[i].Cells) {
+			at = i
+			break
+		}
+	}
+	if at < 0 || len(kept) == 1 {
+		return kept
+	}
+	best := -1
+	bestN := 0
+	for i := range kept {
+		if i == at {
+			continue
+		}
+		if n := nonNullCount(kept[i].Cells); best < 0 || n > bestN ||
+			(n == bestN && e.lessCells(kept[i].Cells, kept[best].Cells)) {
+			best = i
+			bestN = n
+		}
+	}
+	kept[best].Prov = mergeProv(kept[best].Prov, kept[at].Prov)
+	return append(kept[:at], kept[at+1:]...)
+}

@@ -1,0 +1,303 @@
+package fd
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"fuzzyfd/internal/table"
+)
+
+// --- union-find -------------------------------------------------------------
+
+func TestUnionFindBasics(t *testing.T) {
+	uf := newUnionFind(5)
+	for i := 0; i < 5; i++ {
+		if uf.find(i) != i {
+			t.Fatalf("fresh element %d not its own root", i)
+		}
+	}
+	uf.union(0, 1)
+	uf.union(3, 4)
+	if uf.find(0) != uf.find(1) || uf.find(3) != uf.find(4) {
+		t.Error("union did not join")
+	}
+	if uf.find(0) == uf.find(3) || uf.find(2) != 2 {
+		t.Error("disjoint sets joined spuriously")
+	}
+	uf.union(1, 3) // transitive: {0,1,3,4}
+	for _, x := range []int{1, 3, 4} {
+		if uf.find(x) != uf.find(0) {
+			t.Errorf("element %d not in merged set", x)
+		}
+	}
+	uf.union(0, 4) // already joined: must be a no-op
+	if uf.find(2) != 2 {
+		t.Error("singleton lost")
+	}
+}
+
+func TestUnionFindAllPairsChain(t *testing.T) {
+	const n = 100
+	uf := newUnionFind(n)
+	for i := 1; i < n; i++ {
+		uf.union(i-1, i)
+	}
+	root := uf.find(0)
+	for i := 1; i < n; i++ {
+		if uf.find(i) != root {
+			t.Fatalf("chain element %d split from root", i)
+		}
+	}
+}
+
+// --- partitioner ------------------------------------------------------------
+
+// partitionOf builds the engine over the tables and returns its components.
+func partitionOf(t *testing.T, tables []*table.Table) (*engine, [][]Tuple) {
+	t.Helper()
+	schema := IdentitySchema(tables)
+	eng, base, _ := outerUnion(tables, schema)
+	return eng, eng.partition(base)
+}
+
+func TestPartitionDisconnected(t *testing.T) {
+	// Disjoint value spaces: every row is its own component.
+	tb := table.New("t", "a", "b")
+	tb.MustAppendRow(table.S("1"), table.S("x"))
+	tb.MustAppendRow(table.S("2"), table.S("y"))
+	tb.MustAppendRow(table.S("3"), table.S("z"))
+	_, comps := partitionOf(t, []*table.Table{tb})
+	if len(comps) != 3 {
+		t.Fatalf("components=%d want 3", len(comps))
+	}
+	for _, c := range comps {
+		if len(c) != 1 {
+			t.Errorf("component size=%d want 1", len(c))
+		}
+	}
+}
+
+func TestPartitionSingleton(t *testing.T) {
+	tb := table.New("t", "a")
+	tb.MustAppendRow(table.S("only"))
+	_, comps := partitionOf(t, []*table.Table{tb})
+	if len(comps) != 1 || len(comps[0]) != 1 {
+		t.Fatalf("comps=%v", comps)
+	}
+}
+
+func TestPartitionEmpty(t *testing.T) {
+	tb := table.New("t", "a")
+	_, comps := partitionOf(t, []*table.Table{tb})
+	if comps != nil {
+		t.Fatalf("empty input gave %d components", len(comps))
+	}
+}
+
+func TestPartitionFullyConnected(t *testing.T) {
+	// Every row shares the key and never conflicts: one component.
+	t1 := table.New("t1", "k", "b")
+	t1.MustAppendRow(table.S("k0"), table.S("x"))
+	t2 := table.New("t2", "k", "c")
+	t2.MustAppendRow(table.S("k0"), table.S("y"))
+	t3 := table.New("t3", "k", "d")
+	t3.MustAppendRow(table.S("k0"), table.S("z"))
+	_, comps := partitionOf(t, []*table.Table{t1, t2, t3})
+	if len(comps) != 1 || len(comps[0]) != 3 {
+		t.Fatalf("components=%d sizes=%v, want one of size 3", len(comps), len(comps[0]))
+	}
+}
+
+// The partitioner follows the mergeable relation, not shares-a-value: rows
+// sharing a low-selectivity value but conflicting elsewhere must not be
+// chained into one component.
+func TestPartitionSharedValueButInconsistent(t *testing.T) {
+	tb := table.New("t", "a", "b")
+	tb.MustAppendRow(table.S("k"), table.S("1"))
+	tb.MustAppendRow(table.S("k"), table.S("2"))
+	_, comps := partitionOf(t, []*table.Table{tb})
+	if len(comps) != 2 {
+		t.Fatalf("conflicting rows sharing a value landed in %d component(s), want 2", len(comps))
+	}
+}
+
+// Transitive connection through a bridging tuple: a and b conflict, but a
+// null-padded bridge is mergeable with both, so all three share a
+// component.
+func TestPartitionBridge(t *testing.T) {
+	t1 := table.New("t1", "a", "b", "c")
+	t1.MustAppendRow(table.S("k"), table.S("1"), table.Null())
+	t1.MustAppendRow(table.S("k"), table.S("2"), table.Null())
+	t2 := table.New("t2", "a", "c")
+	t2.MustAppendRow(table.S("k"), table.S("z"))
+	_, comps := partitionOf(t, []*table.Table{t1, t2})
+	if len(comps) != 1 || len(comps[0]) != 3 {
+		t.Fatalf("bridge case: components=%d, want 1 of size 3", len(comps))
+	}
+}
+
+func TestPartitionAllNullSingleton(t *testing.T) {
+	tb := table.New("t", "a", "b")
+	tb.MustAppendRow(table.Null(), table.Null())
+	tb.MustAppendRow(table.S("x"), table.S("y"))
+	_, comps := partitionOf(t, []*table.Table{tb})
+	if len(comps) != 2 {
+		t.Fatalf("all-null row should form its own component: %d", len(comps))
+	}
+}
+
+// --- engine equivalence -----------------------------------------------------
+
+// resultsIdentical requires byte-identical output: same row order, same
+// cells, same provenance.
+func resultsIdentical(a, b *Result) bool {
+	return a.Table.Equal(b.Table) && reflect.DeepEqual(a.Prov, b.Prov)
+}
+
+// The central refactor property: the interned, partitioned engine produces
+// byte-identical tables AND provenance to the definitional oracle, and the
+// flat (NoPartition) and parallel variants agree too.
+func TestPartitionedMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tables := randomTables(r)
+		schema := IdentitySchema(tables)
+		want, err := NaiveFD(tables, schema)
+		if errors.Is(err, ErrOracleTooLarge) {
+			return true // skip oversized draws
+		}
+		if err != nil {
+			return false
+		}
+		for _, opts := range []Options{
+			{},                              // partitioned, sequential
+			{Workers: 4},                    // partitioned, component-parallel
+			{NoPartition: true},             // flat, sequential
+			{NoPartition: true, Workers: 4}, // flat, round-parallel
+		} {
+			got, err := FullDisjunction(tables, schema, opts)
+			if err != nil {
+				t.Logf("seed %d opts %+v: %v", seed, opts, err)
+				return false
+			}
+			if !resultsIdentical(got, want) {
+				t.Logf("seed %d opts %+v:\ninput:\n%v\ngot:\n%v %v\nwant:\n%v %v",
+					seed, opts, tables, got.Table, got.Prov, want.Table, want.Prov)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomTablesWithEmptyRows extends randomTables with occasional fully-null
+// rows, exercising the all-null singleton component and the global
+// provenance fold.
+func randomTablesWithEmptyRows(r *rand.Rand) []*table.Table {
+	tables := randomTables(r)
+	for _, tb := range tables {
+		if r.Intn(2) == 0 {
+			row := make(table.Row, len(tb.Columns))
+			for j := range row {
+				row[j] = table.Null()
+			}
+			tb.Rows = append(tb.Rows, row)
+		}
+	}
+	return tables
+}
+
+func TestPartitionedMatchesFlatWithEmptyRows(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tables := randomTablesWithEmptyRows(r)
+		schema := IdentitySchema(tables)
+		flat, err := FullDisjunction(tables, schema, Options{NoPartition: true})
+		if err != nil {
+			return false
+		}
+		part, err := FullDisjunction(tables, schema, Options{})
+		if err != nil {
+			return false
+		}
+		if !resultsIdentical(part, flat) {
+			t.Logf("seed %d:\ninput:\n%v\npartitioned:\n%v %v\nflat:\n%v %v",
+				seed, tables, part.Table, part.Prov, flat.Table, flat.Prov)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Partition stats must describe the partition the closure actually used.
+func TestPartitionStats(t *testing.T) {
+	tables := fig1Fuzzy()
+	res, err := FullDisjunction(tables, IdentitySchema(tables), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats
+	if s.Components < 4 {
+		t.Errorf("Components=%d want >=4 (per-city integration sets)", s.Components)
+	}
+	if s.LargestComp < 2 || s.LargestComp > s.OuterUnion {
+		t.Errorf("LargestComp=%d outside [2, %d]", s.LargestComp, s.OuterUnion)
+	}
+	if s.LargestClose < s.LargestComp || s.LargestClose > s.Closure {
+		t.Errorf("LargestClose=%d inconsistent with LargestComp=%d Closure=%d",
+			s.LargestClose, s.LargestComp, s.Closure)
+	}
+	if s.Values == 0 {
+		t.Error("Values not populated")
+	}
+	flat, err := FullDisjunction(tables, IdentitySchema(tables), Options{NoPartition: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Stats.Components != 0 {
+		t.Errorf("flat engine reported Components=%d", flat.Stats.Components)
+	}
+	if !resultsIdentical(res, flat) {
+		t.Error("flat and partitioned engines disagree on Fig. 1")
+	}
+}
+
+// The budget must abort the partitioned engine exactly when it aborts the
+// flat one: whenever the total closure exceeds MaxTuples.
+func TestPartitionedBudgetMatchesFlat(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tables := randomTables(r)
+		schema := IdentitySchema(tables)
+		ref, err := FullDisjunction(tables, schema, Options{})
+		if err != nil {
+			return false
+		}
+		budget := ref.Stats.Closure // exactly at the limit: must succeed
+		for _, opts := range []Options{{MaxTuples: budget}, {MaxTuples: budget, Workers: 4}} {
+			if _, err := FullDisjunction(tables, schema, opts); err != nil {
+				return false
+			}
+		}
+		if budget > 1 {
+			for _, opts := range []Options{{MaxTuples: budget - 1}, {MaxTuples: budget - 1, Workers: 4}} {
+				if _, err := FullDisjunction(tables, schema, opts); !errors.Is(err, ErrTupleBudget) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,100 @@
+package fd
+
+import (
+	"slices"
+	"sync/atomic"
+)
+
+// Tuple signatures. The pre-interned engine keyed deduplication maps on a
+// string concatenation of every cell's full text, re-hashing tuple text at
+// each probe. With interned cells a signature is a 64-bit FNV-1a hash over
+// the symbol words; identity is confirmed by integer slice comparison, so
+// no tuple text is touched on the hot path.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hashCells computes FNV-1a over the symbol slice, one 32-bit word per
+// round (the word-at-a-time variant: symbols are already avalanche-mixed by
+// the prime multiplications, so byte-at-a-time buys nothing here).
+func hashCells(cells []uint32) uint64 {
+	h := uint64(fnvOffset64)
+	for _, sym := range cells {
+		h ^= uint64(sym)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// sigIndex maps tuple cell signatures to tuple IDs within one tuple store,
+// chaining IDs on hash collision and confirming identity by symbol
+// comparison against the store.
+type sigIndex struct {
+	buckets map[uint64][]int
+}
+
+func newSigIndex() *sigIndex {
+	return &sigIndex{buckets: make(map[uint64][]int)}
+}
+
+// find returns the ID of the tuple in store with the given cells, plus the
+// cells' hash for a subsequent addHashed.
+func (s *sigIndex) find(cells []uint32, store []Tuple) (id int, hash uint64, ok bool) {
+	hash = hashCells(cells)
+	for _, id := range s.buckets[hash] {
+		if slices.Equal(store[id].Cells, cells) {
+			return id, hash, true
+		}
+	}
+	return 0, hash, false
+}
+
+// add indexes a new tuple ID under its cells' hash.
+func (s *sigIndex) add(cells []uint32, id int) {
+	s.addHashed(hashCells(cells), id)
+}
+
+// addHashed indexes a new tuple ID under a hash already computed by find.
+func (s *sigIndex) addHashed(hash uint64, id int) {
+	s.buckets[hash] = append(s.buckets[hash], id)
+}
+
+// budget enforces Options.MaxTuples across the whole computation. Component
+// closures run concurrently, so the live tuple count is shared; each new
+// tuple reserves a slot. A nil budget is unlimited.
+type budget struct {
+	max int64
+	n   atomic.Int64
+}
+
+// newBudget returns a budget over max tuples with initial tuples already
+// live, or nil when max is 0 (unlimited).
+func newBudget(max, initial int) *budget {
+	if max <= 0 {
+		return nil
+	}
+	b := &budget{max: int64(max)}
+	b.n.Store(int64(initial))
+	return b
+}
+
+// exceeded reports whether the live count is already over budget (the
+// pre-closure check: an outer union larger than the budget fails on the
+// first component processed, matching the global engine).
+func (b *budget) exceeded() bool {
+	return b != nil && b.n.Load() > b.max
+}
+
+// add reserves k new tuples, reporting ErrTupleBudget once the total
+// exceeds the budget.
+func (b *budget) add(k int) error {
+	if b == nil {
+		return nil
+	}
+	if b.n.Add(int64(k)) > b.max {
+		return ErrTupleBudget
+	}
+	return nil
+}

@@ -1,31 +1,47 @@
 package fd
 
-import "sort"
+import (
+	"sort"
+
+	"fuzzyfd/internal/intern"
+	"fuzzyfd/internal/table"
+)
 
 // subsume removes every tuple strictly subsumed by another (minimal-union
 // semantics), folding the provenance of each removed tuple into one of its
-// subsumers so every input TID stays represented in the output.
+// subsumers so every input TID stays represented in the output. The choice
+// of subsumer is canonical — the most informative one, ties by value order
+// — so every engine variant (global, per-component, naive) folds
+// identically.
 //
 // A subsumer must agree on every non-null cell of the subsumed tuple, so it
 // necessarily appears in the posting list of any of the subsumed tuple's
 // values; scanning the tuple's rarest posting list therefore finds all
 // potential subsumers without a quadratic pass.
-func subsume(tuples []Tuple, nCols int) []Tuple {
+func (e *engine) subsume(tuples []Tuple) []Tuple {
 	if len(tuples) <= 1 {
 		return tuples
 	}
-	idx := newPostingIndex(nCols)
+	idx := newPostingIndex(e.nCols)
 	for i := range tuples {
 		idx.add(i, tuples[i].Cells)
 	}
 
 	nonNulls := make([]int, len(tuples))
 	for i := range tuples {
-		for _, c := range tuples[i].Cells {
-			if !c.IsNull {
-				nonNulls[i]++
-			}
+		nonNulls[i] = nonNullCount(tuples[i].Cells)
+	}
+
+	// better reports whether candidate j beats the current subsumer of i
+	// under the canonical rule.
+	better := func(j, cur int) bool {
+		if cur < 0 {
+			return true
 		}
+		if nonNulls[j] != nonNulls[cur] {
+			return nonNulls[j] > nonNulls[cur]
+		}
+		return e.lessCells(tuples[j].Cells, tuples[cur].Cells)
 	}
 
 	// subsumer[i] is the chosen subsumer of dropped tuple i, or -1.
@@ -37,35 +53,32 @@ func subsume(tuples []Tuple, nCols int) []Tuple {
 		// Scan the rarest posting list of i's non-null values.
 		best := -1
 		bestLen := 0
-		for c, cell := range cells {
-			if cell.IsNull {
+		for c, sym := range cells {
+			if sym == intern.Null {
 				continue
 			}
-			l := len(idx.byCol[c][cell.Val])
+			l := len(idx.byCol[c][sym])
 			if best < 0 || l < bestLen {
 				best = c
 				bestLen = l
 			}
 		}
 		if best < 0 {
-			// All-null tuple: subsumed by any tuple with information. Such
-			// tuples only arise from fully-empty input rows.
+			// All-null tuple (only from fully-empty input rows): subsumed by
+			// any informative tuple; pick the canonical one. The partitioned
+			// engine applies the same rule across components in foldAllNull.
 			for j := range tuples {
-				if j != i && nonNulls[j] > 0 {
+				if j != i && nonNulls[j] > 0 && better(j, subsumer[i]) {
 					subsumer[i] = j
-					break
 				}
 			}
 			continue
 		}
-		for _, j := range idx.byCol[best][cells[best].Val] {
+		for _, j := range idx.byCol[best][cells[best]] {
 			if j == i || !subsumes(tuples[j].Cells, cells) {
 				continue
 			}
-			// Deterministic choice: the most informative subsumer, ties by
-			// signature order.
-			if subsumer[i] < 0 || nonNulls[j] > nonNulls[subsumer[i]] ||
-				(nonNulls[j] == nonNulls[subsumer[i]] && signature(tuples[j].Cells) < signature(tuples[subsumer[i]].Cells)) {
+			if better(j, subsumer[i]) {
 				subsumer[i] = j
 			}
 		}
@@ -91,4 +104,23 @@ func subsume(tuples []Tuple, nCols int) []Tuple {
 		}
 	}
 	return kept
+}
+
+// subsumesRows is the decoded counterpart of subsumes, over materialized
+// table rows — used by invariant checks and cross-operator comparisons that
+// work on result tables rather than interned tuples.
+func subsumesRows(u, t table.Row) bool {
+	extra := false
+	for i := range t {
+		if t[i].IsNull {
+			if !u[i].IsNull {
+				extra = true
+			}
+			continue
+		}
+		if u[i].IsNull || u[i].Val != t[i].Val {
+			return false
+		}
+	}
+	return extra
 }

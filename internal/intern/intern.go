@@ -1,0 +1,70 @@
+// Package intern implements a value dictionary: a bijective mapping from
+// distinct cell strings to dense uint32 symbols. The Full Disjunction
+// engine interns every cell once at outer-union time and then runs all
+// hot-path work — signatures, posting-index probes, merge and consistency
+// checks, subsumption — on integer symbols, decoding back to strings only
+// when the result table is materialized.
+//
+// Symbol 0 (Null) is reserved for the null cell, so a tuple is a plain
+// []uint32 and null checks are integer compares.
+package intern
+
+// Null is the reserved symbol for the null cell. Dictionaries never assign
+// it to a value.
+const Null uint32 = 0
+
+// Dict is a symbol table for cell values. The zero value is not usable;
+// call NewDict. Interning is not safe for concurrent use; lookups by symbol
+// are safe concurrently with each other once interning is done (the FD
+// engine interns single-threaded during the outer union and only reads
+// afterwards).
+type Dict struct {
+	ids  map[string]uint32
+	vals []string // vals[sym-1] is the value of symbol sym
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{ids: make(map[string]uint32)}
+}
+
+// Intern returns the symbol for s, assigning the next dense symbol on first
+// sight. Symbols start at 1; 0 is reserved for Null.
+func (d *Dict) Intern(s string) uint32 {
+	if sym, ok := d.ids[s]; ok {
+		return sym
+	}
+	d.vals = append(d.vals, s)
+	sym := uint32(len(d.vals))
+	d.ids[s] = sym
+	return sym
+}
+
+// Symbol returns the symbol for s without interning, and whether s is
+// known.
+func (d *Dict) Symbol(s string) (uint32, bool) {
+	sym, ok := d.ids[s]
+	return sym, ok
+}
+
+// Value returns the string for a non-Null symbol. Symbols come only from
+// Intern, so an unknown or Null symbol is a programming error and panics.
+func (d *Dict) Value(sym uint32) string {
+	return d.vals[sym-1]
+}
+
+// Len reports the number of distinct interned values (excluding Null).
+func (d *Dict) Len() int { return len(d.vals) }
+
+// Less orders two symbols by the value order the engine sorts output rows
+// with: Null before any value, values by their strings. Distinct symbols
+// always hold distinct strings, so Less is a strict weak ordering.
+func (d *Dict) Less(a, b uint32) bool {
+	if a == b {
+		return false
+	}
+	if a == Null || b == Null {
+		return a == Null
+	}
+	return d.vals[a-1] < d.vals[b-1]
+}

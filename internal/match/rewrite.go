@@ -27,13 +27,14 @@ func RewriteMaps(clusters []Cluster, nCols int) []map[string]string {
 
 // Stats summarizes a clustering for reporting.
 type Stats struct {
-	Clusters     int // total clusters
-	Singletons   int // clusters with a single member
-	Merged       int // clusters with 2+ members
-	Members      int // total members
-	Rewrites     int // members whose surface form differs from the representative
-	LargestSize  int
-	MeanDistance float64 // mean match-time distance over non-seed members
+	Clusters      int // total clusters
+	Singletons    int // clusters with a single member
+	Merged        int // clusters with 2+ members
+	Members       int // total members
+	Rewrites      int // members whose surface form differs from the representative
+	LargestSize   int
+	MeanDistance  float64 // mean match-time distance over non-seed members
+	DistanceCount int     // members contributing to MeanDistance — its weight when combining Stats
 }
 
 // Summarize computes Stats for a clustering.
@@ -65,6 +66,7 @@ func Summarize(clusters []Cluster) Stats {
 	}
 	if distN > 0 {
 		s.MeanDistance = distSum / float64(distN)
+		s.DistanceCount = distN
 	}
 	return s
 }
