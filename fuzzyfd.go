@@ -25,6 +25,12 @@
 //	    fuzzyfd.WithContentAlignment(true),
 //	    fuzzyfd.WithParallelFD(8),
 //	)
+//
+// When overlapping integration sets arrive continuously (the serving
+// scenario), use a Session instead of repeated Integrate calls: it keeps
+// the value dictionary, embedding cache, match clusters, and Full
+// Disjunction index alive across calls and re-closes only what each new
+// batch of tables touches.
 package fuzzyfd
 
 import (
@@ -237,23 +243,67 @@ func Integrate(tables []*Table, opts ...Option) (*Result, error) {
 	return core.Integrate(tables, cfg)
 }
 
+// Session integrates a growing set of tables incrementally. Where
+// Integrate rebuilds everything per call, a Session keeps its value
+// dictionary, embedding cache, match clusters, and Full Disjunction index
+// alive between calls, so re-integrating after adding a batch of tables
+// only closes the part of the result the new tuples actually touch:
+//
+//	s, _ := fuzzyfd.NewSession()
+//	s.Add(t1, t2)
+//	res, _ := s.Integrate()          // full computation
+//	s.Add(t3)
+//	res, _ = s.Integrate()           // only components touched by t3 re-close
+//
+// Every Integrate result is byte-identical — tables and provenance — to a
+// one-shot Integrate over all tables added so far; see Result.FDStats
+// (ReusedValues, DirtyComponents, ReclosedTuples) for how much work the
+// session skipped. Added tables must not be modified afterwards. A Session
+// is not safe for concurrent use.
+type Session struct {
+	s *core.Session
+}
+
+// NewSession prepares an empty incremental integration session. It accepts
+// the same options as Integrate.
+func NewSession(opts ...Option) (*Session, error) {
+	cfg, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{s: core.NewSession(cfg)}, nil
+}
+
+// Add appends tables to the session's integration set without computing
+// anything; the next Integrate folds them in.
+func (s *Session) Add(tables ...*Table) { s.s.Add(tables...) }
+
+// Tables reports the number of tables added so far.
+func (s *Session) Tables() int { return s.s.Tables() }
+
+// Integrate computes the integration of every table added so far, reusing
+// the session's cached state for everything the newly added tables do not
+// touch.
+func (s *Session) Integrate() (*Result, error) { return s.s.Integrate() }
+
 // MatchValues runs only the fuzzy value-matching component over a set of
 // aligning columns (each a list of cell values), returning the disjoint
 // value clusters with elected representatives — the building block for
-// custom integration flows.
+// custom integration flows. The embedding warm-up honors WithMatchWorkers,
+// as in the full pipeline.
 func MatchValues(columns [][]string, opts ...Option) ([]ValueCluster, error) {
 	cfg, err := buildOptions(opts)
 	if err != nil {
 		return nil, err
 	}
-	emb := cfg.Embedder
-	if emb == nil {
-		emb = embed.NewMistral()
-	}
+	emb := cfg.ResolvedEmbedder()
 	m := &match.Matcher{Emb: emb, Opts: match.Options{Theta: cfg.Theta, Mode: cfg.MatchMode}}
 	cols := make([]match.Column, len(columns))
 	for i, c := range columns {
 		cols[i] = match.NewColumn(fmt.Sprintf("col%d", i), c)
+	}
+	if values := match.DistinctValues(cols); len(values) > 0 {
+		embed.Warm(emb, values, cfg.ResolvedMatchWorkers())
 	}
 	return m.Match(cols)
 }
@@ -284,11 +334,7 @@ func discover(query *Table, corpus []*Table, k int, opts []Option, join bool) ([
 	if err != nil {
 		return nil, err
 	}
-	emb := cfg.Embedder
-	if emb == nil {
-		emb = embed.NewMistral()
-	}
-	s := &discovery.Searcher{Emb: emb}
+	s := &discovery.Searcher{Emb: cfg.ResolvedEmbedder()}
 	if join {
 		return s.Joinables(query, corpus, k)
 	}

@@ -13,12 +13,10 @@ package core
 
 import (
 	"errors"
-	"fmt"
 	"runtime"
 	"strings"
 	"time"
 
-	"fuzzyfd/internal/align"
 	"fuzzyfd/internal/embed"
 	"fuzzyfd/internal/fd"
 	"fuzzyfd/internal/match"
@@ -71,14 +69,20 @@ type Config struct {
 	FD fd.Options
 }
 
-func (c Config) matchWorkers() int {
+// ResolvedMatchWorkers returns the effective match-phase concurrency
+// (MatchWorkers, defaulting to the number of CPUs).
+func (c Config) ResolvedMatchWorkers() int {
 	if c.MatchWorkers > 0 {
 		return c.MatchWorkers
 	}
 	return runtime.NumCPU()
 }
 
-func (c Config) embedder() embed.Embedder {
+// ResolvedEmbedder returns the effective embedding model (Embedder,
+// defaulting to the Mistral tier). Every consumer of the configured
+// embedder — the pipeline, MatchValues, discovery — must resolve through
+// here so the default is defined once.
+func (c Config) ResolvedEmbedder() embed.Embedder {
 	if c.Embedder == nil {
 		return embed.NewMistral()
 	}
@@ -135,137 +139,13 @@ func (r *Result) TableWithProvenance() *table.Table {
 var ErrNoTables = errors.New("core: no tables to integrate")
 
 // Integrate runs the configured pipeline over the integration set. Input
-// tables are never mutated.
+// tables are never mutated. It is implemented as a throwaway Session —
+// one Add, one Integrate — so the one-shot and incremental paths are the
+// same code and stay byte-identical by construction.
 func Integrate(tables []*table.Table, cfg Config) (*Result, error) {
-	if len(tables) == 0 {
-		return nil, ErrNoTables
-	}
-	start := time.Now()
-	res := &Result{ColumnClusters: make(map[int][]match.Cluster)}
-
-	// Phase 1: column alignment.
-	alignStart := time.Now()
-	var schema fd.Schema
-	if cfg.AlignContent {
-		aligner := &align.Aligner{
-			Emb:        cfg.embedder(),
-			Threshold:  cfg.AlignThreshold,
-			UseHeaders: cfg.UseHeaders,
-		}
-		ar, err := aligner.Align(tables)
-		if err != nil {
-			return nil, fmt.Errorf("core: align: %w", err)
-		}
-		schema = ar.Schema(tables)
-	} else {
-		schema = fd.IdentitySchema(tables)
-	}
-	if err := schema.Validate(tables); err != nil {
-		return nil, err
-	}
-	res.Schema = schema
-	res.Timings.Align = time.Since(alignStart)
-
-	// Phase 2 (fuzzy only): value matching and cell rewriting.
-	work := tables
-	if cfg.Method == MethodFuzzyFD {
-		matchStart := time.Now()
-		rewritten, err := matchAndRewrite(tables, schema, cfg, res)
-		if err != nil {
-			return nil, err
-		}
-		work = rewritten
-		res.Timings.Match = time.Since(matchStart)
-	}
-
-	// Phase 3: equi-join Full Disjunction.
-	fdStart := time.Now()
-	fdRes, err := fd.FullDisjunction(work, schema, cfg.FD)
-	if err != nil {
-		return nil, fmt.Errorf("core: full disjunction: %w", err)
-	}
-	res.Table = fdRes.Table
-	res.Prov = fdRes.Prov
-	res.FDStats = fdRes.Stats
-	res.Timings.FD = time.Since(fdStart)
-	res.Timings.Total = time.Since(start)
-	return res, nil
-}
-
-// matchAndRewrite runs the Match Values component over every aligned
-// column set with at least two source columns and returns rewritten copies
-// of the tables.
-func matchAndRewrite(tables []*table.Table, schema fd.Schema, cfg Config, res *Result) ([]*table.Table, error) {
-	// Invert the schema: output column -> contributing (table, column)
-	// refs in table order (the order the paper's sequential matching
-	// consumes them).
-	type ref struct{ table, col int }
-	sources := make([][]ref, len(schema.Columns))
-	for ti := range schema.Mapping {
-		for ci, out := range schema.Mapping[ti] {
-			sources[out] = append(sources[out], ref{table: ti, col: ci})
-		}
-	}
-
-	emb := cfg.embedder()
-	matcher := &match.Matcher{
-		Emb:  emb,
-		Opts: match.Options{Theta: cfg.Theta, Mode: cfg.MatchMode},
-	}
-
-	// Pre-embed all distinct values of the aligned columns concurrently;
-	// matching then hits the embedder's cache. Warming concurrency is the
-	// match phase's own knob (Config.MatchWorkers, default NumCPU) — it
-	// used to piggyback on FD.Workers, which coupled match throughput to an
-	// unrelated closure setting and left single-threaded-FD runs cold.
-	var values []string
-	seen := make(map[string]bool)
-	for _, refs := range sources {
-		if len(refs) < 2 {
-			continue
-		}
-		for _, rf := range refs {
-			for _, v := range tables[rf.table].ColumnValues(rf.col) {
-				if !seen[v] {
-					seen[v] = true
-					values = append(values, v)
-				}
-			}
-		}
-	}
-	if len(values) > 0 {
-		embed.Warm(emb, values, cfg.matchWorkers())
-	}
-
-	rewritten := make([]*table.Table, len(tables))
-	for i, t := range tables {
-		rewritten[i] = t.Clone()
-	}
-
-	var allStats []match.Stats
-	for out, refs := range sources {
-		if len(refs) < 2 {
-			continue
-		}
-		cols := make([]match.Column, len(refs))
-		for k, rf := range refs {
-			name := fmt.Sprintf("%s.%s", tables[rf.table].Name, tables[rf.table].Columns[rf.col])
-			cols[k] = match.NewColumn(name, tables[rf.table].ColumnValues(rf.col))
-		}
-		clusters, err := matcher.Match(cols)
-		if err != nil {
-			return nil, fmt.Errorf("core: match output column %q: %w", schema.Columns[out], err)
-		}
-		res.ColumnClusters[out] = clusters
-		allStats = append(allStats, match.Summarize(clusters))
-
-		maps := match.RewriteMaps(clusters, len(refs))
-		for k, rf := range refs {
-			applyRewrite(rewritten[rf.table], rf.col, maps[k])
-		}
-	}
-	res.MatchStats = combineStats(allStats)
-	return rewritten, nil
+	s := NewSession(cfg)
+	s.Add(tables...)
+	return s.Integrate()
 }
 
 // applyRewrite replaces column ci's cell values according to m.

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"fuzzyfd/internal/align"
+	"fuzzyfd/internal/embed"
+	"fuzzyfd/internal/fd"
+	"fuzzyfd/internal/match"
+	"fuzzyfd/internal/table"
+)
+
+// Session is the resumable form of the pipeline: a long-lived object that
+// owns the state every one-shot Integrate call used to rebuild from
+// scratch — the embedding cache (values embed once per model tier for the
+// session's lifetime), the match clusters of every aligned column set
+// (reused while the set's contents are unchanged), and the incremental
+// Full Disjunction index with its append-only dictionary, posting and
+// signature indexes, and per-component closure results.
+//
+// Add appends tables to the integration set; Integrate computes the Full
+// Disjunction of everything added so far. Each Integrate closes only the
+// delta: tuples from new tables probe the existing component structure and
+// only the components they touch are re-closed (see fd.Index). The result
+// of every Integrate is byte-identical — tables and provenance — to a
+// one-shot Integrate over the accumulated set.
+//
+// Tables handed to Add are never mutated, but the session keeps references
+// to them; the caller must not modify them afterwards. A Session is not
+// safe for concurrent use.
+type Session struct {
+	cfg   Config
+	emb   embed.Embedder
+	cache *embed.ValueCache
+
+	tables   []*table.Table
+	clusters map[clusterDigest][]match.Cluster // aligned-column-set content -> clusters
+	idx      *fd.Index
+
+	integrations int
+}
+
+// NewSession prepares an empty session with the given configuration. The
+// zero Config is the paper's Fuzzy FD defaults, as with Integrate.
+func NewSession(cfg Config) *Session {
+	cache := embed.NewValueCache()
+	return &Session{
+		cfg:      cfg,
+		cache:    cache,
+		emb:      embed.Cached(cfg.ResolvedEmbedder(), cache),
+		clusters: make(map[clusterDigest][]match.Cluster),
+		idx:      fd.NewIndex(),
+	}
+}
+
+// Add appends tables to the session's integration set. It performs no
+// computation; the next Integrate folds the new tables in.
+func (s *Session) Add(tables ...*table.Table) {
+	s.tables = append(s.tables, tables...)
+}
+
+// Tables reports the number of tables added so far.
+func (s *Session) Tables() int { return len(s.tables) }
+
+// Integrations reports the number of completed Integrate calls.
+func (s *Session) Integrations() int { return s.integrations }
+
+// EmbeddingCache exposes the session's value-embedding cache, for
+// diagnostics (hit/miss counts across repeated integrations).
+func (s *Session) EmbeddingCache() *embed.ValueCache { return s.cache }
+
+// Integrate computes the configured pipeline over every table added so
+// far, reusing the session's cached state wherever the input still
+// matches it.
+func (s *Session) Integrate() (*Result, error) {
+	if len(s.tables) == 0 {
+		return nil, ErrNoTables
+	}
+	start := time.Now()
+	tables := s.tables
+	res := &Result{ColumnClusters: make(map[int][]match.Cluster)}
+
+	// Stage 1: column alignment. Content alignment re-runs over the whole
+	// set (new tables can re-shape every column cluster), but its
+	// embeddings come from the session cache.
+	alignStart := time.Now()
+	var schema fd.Schema
+	if s.cfg.AlignContent {
+		aligner := &align.Aligner{
+			Emb:        s.emb,
+			Threshold:  s.cfg.AlignThreshold,
+			UseHeaders: s.cfg.UseHeaders,
+		}
+		ar, err := aligner.Align(tables)
+		if err != nil {
+			return nil, fmt.Errorf("core: align: %w", err)
+		}
+		schema = ar.Schema(tables)
+	} else {
+		schema = fd.IdentitySchema(tables)
+	}
+	if err := schema.Validate(tables); err != nil {
+		return nil, err
+	}
+	res.Schema = schema
+	res.Timings.Align = time.Since(alignStart)
+
+	// Stage 2 (fuzzy only): value matching and cell rewriting, with
+	// cluster reuse per aligned column set.
+	work := tables
+	if s.cfg.Method == MethodFuzzyFD {
+		matchStart := time.Now()
+		rewritten, err := s.matchAndRewrite(tables, schema, res)
+		if err != nil {
+			return nil, err
+		}
+		work = rewritten
+		res.Timings.Match = time.Since(matchStart)
+	}
+
+	// Stage 3: incremental equi-join Full Disjunction over the rewritten
+	// view. The index verifies that previously ingested rows still hold
+	// (a matching round may have re-elected representatives) and closes
+	// only dirty components.
+	fdStart := time.Now()
+	fdRes, err := s.idx.Update(work, schema, s.cfg.FD)
+	if err != nil {
+		return nil, fmt.Errorf("core: full disjunction: %w", err)
+	}
+	res.Table = fdRes.Table
+	res.Prov = fdRes.Prov
+	res.FDStats = fdRes.Stats
+	res.Timings.FD = time.Since(fdStart)
+	res.Timings.Total = time.Since(start)
+	s.integrations++
+	return res, nil
+}
+
+// matchAndRewrite runs the Match Values component over every aligned
+// column set with at least two source columns and returns rewritten copies
+// of the tables. Cluster results are cached on the set's exact contents:
+// a column set untouched by newly added tables reuses its clusters without
+// re-running assignment.
+func (s *Session) matchAndRewrite(tables []*table.Table, schema fd.Schema, res *Result) ([]*table.Table, error) {
+	// Invert the schema: output column -> contributing (table, column)
+	// refs in table order (the order the paper's sequential matching
+	// consumes them).
+	type ref struct{ table, col int }
+	sources := make([][]ref, len(schema.Columns))
+	for ti := range schema.Mapping {
+		for ci, out := range schema.Mapping[ti] {
+			sources[out] = append(sources[out], ref{table: ti, col: ci})
+		}
+	}
+
+	matcher := &match.Matcher{
+		Emb:  s.emb,
+		Opts: match.Options{Theta: s.cfg.Theta, Mode: s.cfg.MatchMode},
+	}
+
+	// Build every matchable column set up front, then pre-embed all their
+	// distinct values concurrently; matching then hits the embedder's
+	// cache. Warming concurrency is the match phase's own knob
+	// (Config.MatchWorkers, default NumCPU). Values already in the session
+	// cache cost one lookup.
+	type columnSet struct {
+		out  int
+		refs []ref
+		cols []match.Column
+	}
+	var sets []columnSet
+	var allCols []match.Column
+	for out, refs := range sources {
+		if len(refs) < 2 {
+			continue
+		}
+		cols := make([]match.Column, len(refs))
+		for k, rf := range refs {
+			name := fmt.Sprintf("%s.%s", tables[rf.table].Name, tables[rf.table].Columns[rf.col])
+			cols[k] = match.NewColumn(name, tables[rf.table].ColumnValues(rf.col))
+		}
+		sets = append(sets, columnSet{out: out, refs: refs, cols: cols})
+		allCols = append(allCols, cols...)
+	}
+	if values := match.DistinctValues(allCols); len(values) > 0 {
+		embed.Warm(s.emb, values, s.cfg.ResolvedMatchWorkers())
+	}
+
+	rewritten := make([]*table.Table, len(tables))
+	for i, t := range tables {
+		rewritten[i] = t.Clone()
+	}
+
+	newClusters := make(map[clusterDigest][]match.Cluster, len(sets))
+	var allStats []match.Stats
+	for _, cs := range sets {
+		key := clusterKey(cs.cols)
+		clusters, ok := s.clusters[key]
+		if !ok {
+			var err error
+			clusters, err = matcher.Match(cs.cols)
+			if err != nil {
+				return nil, fmt.Errorf("core: match output column %q: %w", schema.Columns[cs.out], err)
+			}
+		}
+		newClusters[key] = clusters
+		res.ColumnClusters[cs.out] = clusters
+		allStats = append(allStats, match.Summarize(clusters))
+
+		maps := match.RewriteMaps(clusters, len(cs.refs))
+		for k, rf := range cs.refs {
+			applyRewrite(rewritten[rf.table], rf.col, maps[k])
+		}
+	}
+	// Replace, not merge: sets no longer present (their contents changed)
+	// must not pin stale clusters forever.
+	s.clusters = newClusters
+	res.MatchStats = combineStats(allStats)
+	return rewritten, nil
+}
+
+// clusterDigest fingerprints an aligned column set's exact contents in
+// constant space (the cache must not retain a copy of every column's
+// text).
+type clusterDigest [sha256.Size]byte
+
+// clusterKey hashes an aligned column set — per-column distinct values
+// and counts, in order. Clusters depend on nothing else (column names are
+// diagnostics only), so equal keys yield equal clusters. Lengths and
+// counts are varint-prefixed, making the hashed encoding injective up to
+// hash collision.
+func clusterKey(cols []match.Column) clusterDigest {
+	h := sha256.New()
+	var buf [binary.MaxVarintLen64]byte
+	writeInt := func(n int) {
+		h.Write(buf[:binary.PutUvarint(buf[:], uint64(n))])
+	}
+	for _, c := range cols {
+		writeInt(len(c.Values))
+		for i, v := range c.Values {
+			writeInt(len(v))
+			io.WriteString(h, v)
+			writeInt(c.Counts[i])
+		}
+	}
+	var out clusterDigest
+	h.Sum(out[:0])
+	return out
+}

@@ -1,0 +1,98 @@
+package embed
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestValueCacheBasics(t *testing.T) {
+	c := NewValueCache()
+	if _, ok := c.Lookup("mistral", "Berlin"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	if c.Misses() != 1 || c.Hits() != 0 {
+		t.Errorf("hits=%d misses=%d after one miss", c.Hits(), c.Misses())
+	}
+	v := Vector{1, 0}
+	c.Put("mistral", "Berlin", v)
+	got, ok := c.Lookup("mistral", "Berlin")
+	if !ok || !reflect.DeepEqual(got, v) {
+		t.Errorf("Lookup=%v,%v want %v,true", got, ok, v)
+	}
+	if c.Hits() != 1 {
+		t.Errorf("hits=%d want 1", c.Hits())
+	}
+	// Tiers never share entries: the same value under another model misses.
+	if _, ok := c.Lookup("bert", "Berlin"); ok {
+		t.Error("cache shared an entry across model tiers")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len=%d want 1", c.Len())
+	}
+}
+
+// The cached wrapper is transparent: same name, same dim, same vectors as
+// the raw model, and repeated wrapping with the same cache is a no-op.
+func TestCachedWrapperTransparent(t *testing.T) {
+	raw := NewMistral()
+	cache := NewValueCache()
+	wrapped := Cached(NewMistral(), cache)
+	if wrapped.Name() != raw.Name() || wrapped.Dim() != raw.Dim() {
+		t.Errorf("wrapper identity: %s/%d vs %s/%d", wrapped.Name(), wrapped.Dim(), raw.Name(), raw.Dim())
+	}
+	for _, v := range []string{"Berlin", "NYC", "Berlin"} {
+		if !reflect.DeepEqual(wrapped.Embed(v), raw.Embed(v)) {
+			t.Errorf("wrapped embedding differs for %q", v)
+		}
+	}
+	if cache.Len() != 2 {
+		t.Errorf("cache Len=%d want 2 distinct values", cache.Len())
+	}
+	if again := Cached(wrapped, cache); again != wrapped {
+		t.Error("re-wrapping with the same cache allocated a new embedder")
+	}
+	if other := Cached(wrapped, NewValueCache()); other == wrapped {
+		t.Error("wrapping with a different cache must not be elided")
+	}
+	if Cached(raw, nil) != Embedder(raw) {
+		t.Error("nil cache should return the embedder unchanged")
+	}
+}
+
+// A fresh model instance fronted by the same cache serves previous values
+// from the cache — the cross-instance amortization a Session relies on.
+func TestCachedAcrossModelInstances(t *testing.T) {
+	cache := NewValueCache()
+	first := Cached(NewMistral(), cache)
+	first.Embed("Toronto")
+	missesBefore := cache.Misses()
+	second := Cached(NewMistral(), cache)
+	second.Embed("Toronto")
+	if cache.Misses() != missesBefore {
+		t.Error("second instance re-embedded a cached value")
+	}
+	if cache.Hits() == 0 {
+		t.Error("no hits recorded across instances")
+	}
+}
+
+func TestValueCacheConcurrent(t *testing.T) {
+	cache := NewValueCache()
+	emb := Cached(NewMistral(), cache)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				emb.Embed(fmt.Sprintf("value-%d", i%17))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if cache.Len() != 17 {
+		t.Errorf("Len=%d want 17", cache.Len())
+	}
+}

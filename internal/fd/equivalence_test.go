@@ -16,6 +16,65 @@ import (
 // lives in partition_test.go (the oracle caps at 16 outer-union tuples, so
 // it runs on small random sets); these tests cover the scale the oracle
 // cannot.
+// truncated returns the tables cut to the first k of nBatches even
+// row-chunks — the accumulated view of an incremental session after its
+// k-th batch.
+func truncated(tables []*table.Table, nBatches, k int) []*table.Table {
+	out := make([]*table.Table, len(tables))
+	for ti, t := range tables {
+		hi := len(t.Rows) * k / nBatches
+		nt := table.New(t.Name, t.Columns...)
+		nt.Rows = t.Rows[:hi]
+		out[ti] = nt
+	}
+	return out
+}
+
+// The central incremental property on realistic sets: after every Update
+// over a growing prefix of the input, the Index result is byte-identical —
+// tables and provenance — to a one-shot FullDisjunction over that prefix,
+// and later Updates re-close only part of the component structure.
+func TestIndexIncrementalMatchesBatch(t *testing.T) {
+	tables := datagen.IMDB(datagen.IMDBConfig{Seed: 42, TotalTuples: 1200})
+	const nBatches = 4
+	for _, opts := range []fd.Options{{}, {Workers: 4}} {
+		x := fd.NewIndex()
+		for k := 1; k <= nBatches; k++ {
+			view := truncated(tables, nBatches, k)
+			schema := fd.IdentitySchema(view)
+			got, err := x.Update(view, schema, opts)
+			if err != nil {
+				t.Fatalf("opts %+v batch %d: %v", opts, k, err)
+			}
+			want, err := fd.FullDisjunction(view, schema, opts)
+			if err != nil {
+				t.Fatalf("opts %+v batch %d oneshot: %v", opts, k, err)
+			}
+			if !got.Table.Equal(want.Table) {
+				t.Fatalf("opts %+v batch %d: tables differ", opts, k)
+			}
+			if !reflect.DeepEqual(got.Prov, want.Prov) {
+				t.Fatalf("opts %+v batch %d: provenance differs", opts, k)
+			}
+			if k > 1 {
+				s := got.Stats
+				if s.DirtyComponents >= s.Components {
+					t.Errorf("opts %+v batch %d: all %d components dirty — no reuse", opts, k, s.Components)
+				}
+				if s.ReclosedTuples >= s.Closure {
+					t.Errorf("opts %+v batch %d: reclosed %d of %d closure tuples — no reuse", opts, k, s.ReclosedTuples, s.Closure)
+				}
+				if s.ReusedValues == 0 {
+					t.Errorf("opts %+v batch %d: no dictionary reuse on overlapping batches", opts, k)
+				}
+			}
+		}
+		if x.Rebuilds() != 0 {
+			t.Errorf("opts %+v: %d rebuilds on a pure-append workload", opts, x.Rebuilds())
+		}
+	}
+}
+
 func TestEnginesAgreeOnDatagenSets(t *testing.T) {
 	type gen struct {
 		name   string

@@ -188,20 +188,28 @@ type Options struct {
 // ErrTupleBudget is returned when the closure exceeds Options.MaxTuples.
 var ErrTupleBudget = errors.New("fd: tuple budget exceeded")
 
-// Stats reports the work done by one Full Disjunction computation.
+// Stats reports the work done by one Full Disjunction computation. For an
+// incremental computation (Index.Update), the tuple counts describe the
+// whole accumulated result while the work counters (Merges, MergeAttempts,
+// DirtyComponents, ReclosedTuples) describe only the work this run
+// actually performed — the gap between ReclosedTuples and Closure is the
+// work the session amortized away.
 type Stats struct {
-	InputTuples   int
-	OuterUnion    int // tuples after outer union + dedup
-	Values        int // distinct non-null cell values interned
-	Components    int // connected components of the outer union (0 with NoPartition)
-	LargestComp   int // outer-union tuples in the largest component
-	LargestClose  int // closure tuples of the largest component (0 with NoPartition)
-	Merges        int // successful complementation merges
-	MergeAttempts int // candidate pairs tested
-	Closure       int // tuples after complementation closure
-	Subsumed      int // tuples removed by subsumption
-	Output        int
-	Elapsed       time.Duration
+	InputTuples     int
+	OuterUnion      int // tuples after outer union + dedup
+	Values          int // distinct non-null cell values in the dictionary
+	ReusedValues    int // distinct new-row values already interned by earlier runs (0 for one-shot)
+	Components      int // connected components of the outer union (0 with NoPartition)
+	DirtyComponents int // components (re)closed this run (= Components for one-shot partitioned runs)
+	LargestComp     int // outer-union tuples in the largest component
+	LargestClose    int // closure tuples of the largest component (0 with NoPartition)
+	Merges          int // successful complementation merges this run
+	MergeAttempts   int // candidate pairs tested this run
+	Closure         int // tuples after complementation closure
+	ReclosedTuples  int // closure tuples of the components (re)closed this run (= Closure for one-shot partitioned runs)
+	Subsumed        int // tuples removed by subsumption
+	Output          int
+	Elapsed         time.Duration
 }
 
 // Result is an integrated table plus per-row provenance and statistics.

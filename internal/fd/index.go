@@ -1,0 +1,427 @@
+package fd
+
+import (
+	"slices"
+	"time"
+
+	"fuzzyfd/internal/intern"
+	"fuzzyfd/internal/table"
+)
+
+// Index is the persistent Full Disjunction state of an integration
+// session: the append-only value dictionary, the outer-union tuple store
+// with its signature and posting indexes, the union-find component forest,
+// and the kept (closed + subsumption-reduced) tuples of every component
+// from the last Update. Repeated Updates over a growing integration set
+// close only the *delta*: new tuples probe the existing component
+// structure through the posting lists, merge or extend the components they
+// touch, and only those dirty components are re-closed and re-subsumed —
+// the kept tuples of untouched components are reused as is.
+//
+// Correctness rests on the component confinement argument documented in
+// partition.go: the mergeable-pair graph only ever gains vertices and
+// edges as tuples arrive, so components can merge but never split, and a
+// component whose member set and provenance are unchanged has an unchanged
+// closure. Every Update therefore produces output byte-identical — tables
+// and provenance — to a one-shot FullDisjunction over the accumulated
+// input.
+//
+// Update verifies, cheaply, that previously ingested rows still project to
+// their recorded tuples under the current schema and dictionary. When they
+// do not (a value-matching round elected different representatives, or
+// content alignment re-mapped columns), the tuple store is rebuilt from
+// scratch; the dictionary survives rebuilds, so interned symbols and the
+// embedding work keyed on them stay amortized.
+//
+// An Index is not safe for concurrent use.
+type Index struct {
+	dict    *intern.Dict
+	eng     *engine
+	schema  Schema
+	started bool
+
+	rowsSeen []int   // per table: rows already ingested
+	rowBase  [][]int // per table, per ingested row: base tuple id
+
+	base []Tuple       // outer-union tuples, in ingest (outer-union) order
+	sigs *sigIndex     // signature dedup over base
+	post *postingIndex // posting lists over base, used to partition the delta
+	uf   *unionFind    // component forest over base
+
+	lastTables []*table.Table // per table, the object seen last Update
+
+	comps    map[int]*cachedComp // by union-find root at last Update
+	rebuilds int                 // verification failures that forced a full rebuild
+}
+
+// cachedComp is one component's state at the end of the last Update.
+type cachedComp struct {
+	members []int   // base tuple ids, ascending
+	kept    []Tuple // closure + subsumption result
+	closure int     // closure size, for stats and budget accounting
+}
+
+// NewIndex returns an empty index. The schema is fixed by the first
+// Update and may only be extended (new output columns appended) by later
+// ones; any other schema change triggers a rebuild.
+func NewIndex() *Index {
+	dict := intern.NewDict()
+	return &Index{
+		dict:  dict,
+		eng:   &engine{dict: dict},
+		comps: make(map[int]*cachedComp),
+	}
+}
+
+// Values reports the size of the session dictionary (distinct interned
+// values across all Updates, including rebuilt-away ones).
+func (x *Index) Values() int { return x.dict.Len() }
+
+// BaseTuples reports the current outer-union size.
+func (x *Index) BaseTuples() int { return len(x.base) }
+
+// Rebuilds reports how many Updates had to rebuild the tuple store because
+// previously ingested rows no longer projected to their recorded tuples.
+func (x *Index) Rebuilds() int { return x.rebuilds }
+
+// Snapshot captures the current dictionary state; symbols in tuples held
+// by the caller remain decodable through it regardless of later Updates.
+func (x *Index) Snapshot() intern.Snapshot { return x.dict.Snapshot() }
+
+// Update ingests the accumulated integration set (all tables of the
+// session, in a stable order; previously seen tables must come first and
+// may only have grown) and returns the Full Disjunction of the whole set.
+// Only components touched by new or re-deduplicated tuples are re-closed;
+// see the Stats work counters for what was actually done.
+func (x *Index) Update(tables []*table.Table, schema Schema, opts Options) (*Result, error) {
+	start := time.Now()
+	if err := schema.Validate(tables); err != nil {
+		return nil, err
+	}
+	if opts.NoPartition {
+		// The flat global closure has no component structure to reuse;
+		// delegate to the one-shot engine. Later partitioned Updates pick
+		// the delta tracking back up.
+		return FullDisjunction(tables, schema, opts)
+	}
+
+	var stats Stats
+	for _, t := range tables {
+		stats.InputTuples += len(t.Rows)
+	}
+
+	// Stage 1: reconcile the schema, then verify that every previously
+	// ingested row still projects to its recorded tuple. Failure of either
+	// check rebuilds the store (the dictionary survives).
+	if x.started && !x.schemaExtends(tables, schema) {
+		x.reset()
+	}
+	x.widen(len(schema.Columns))
+	if !x.verify(tables, schema) {
+		x.reset()
+		x.widen(len(schema.Columns))
+	}
+	x.schema = schema
+	x.started = true
+
+	// Stage 2: ingest the delta. New tuples dedup against the signature
+	// index (re-deduplication dirties the owning component) or join the
+	// forest by probing the posting lists for mergeable neighbors.
+	touched := x.ingest(tables, schema, &stats)
+	x.lastTables = append(x.lastTables[:0], tables...)
+
+	// Stage 3: regroup the forest and close the dirty components. On
+	// failure (tuple budget) the store has already ingested the delta but
+	// the component cache was not refreshed — the touched marks would be
+	// lost and a later Update could reuse stale cached results, silently
+	// dropping merged provenance. Drop the store (the dictionary survives)
+	// so the next Update rebuilds from the tables.
+	kept, err := x.close(touched, opts, &stats)
+	if err != nil {
+		x.reset()
+		return nil, err
+	}
+
+	kept = x.eng.foldAllNull(kept)
+	stats.Subsumed = stats.Closure - len(kept)
+	stats.OuterUnion = len(x.base)
+	stats.Values = x.dict.Len()
+	stats.Elapsed = time.Since(start)
+	return x.eng.materialize(kept, schema, stats), nil
+}
+
+// reset drops the tuple store, indexes, and cached components, keeping the
+// dictionary (append-only by contract; stale symbols are harmless).
+func (x *Index) reset() {
+	x.base = nil
+	x.sigs = nil
+	x.post = nil
+	x.uf = nil
+	x.comps = make(map[int]*cachedComp)
+	x.rowsSeen = nil
+	x.rowBase = nil
+	x.lastTables = nil
+	x.eng.nCols = 0
+	x.started = false
+	x.rebuilds++
+}
+
+// schemaExtends reports whether the new schema is an extension of the last
+// Update's: previously seen tables keep their column mappings, existing
+// output columns keep their positions, and new output columns only append.
+func (x *Index) schemaExtends(tables []*table.Table, schema Schema) bool {
+	old := x.schema
+	if len(schema.Columns) < len(old.Columns) || len(tables) < len(x.rowsSeen) {
+		return false
+	}
+	for i, name := range old.Columns {
+		if schema.Columns[i] != name {
+			return false
+		}
+	}
+	for ti := range x.rowsSeen {
+		if !slices.Equal(schema.Mapping[ti], old.Mapping[ti]) {
+			return false
+		}
+	}
+	return true
+}
+
+// widen brings the store to nCols output columns: tuples gain trailing
+// null cells, the posting index gains empty columns, and the signature
+// index is rebuilt (cell hashes cover the full width). Initializes the
+// store on first use or after a reset.
+func (x *Index) widen(nCols int) {
+	if x.post == nil {
+		x.eng.nCols = nCols
+		x.sigs = newSigIndex()
+		x.post = newPostingIndex(nCols)
+		x.uf = newUnionFind(0)
+		return
+	}
+	if nCols == x.eng.nCols {
+		return
+	}
+	widenCells := func(cells []uint32) []uint32 {
+		nc := make([]uint32, nCols)
+		copy(nc, cells)
+		return nc
+	}
+	for i := range x.base {
+		x.base[i].Cells = widenCells(x.base[i].Cells)
+	}
+	for _, c := range x.comps {
+		for k := range c.kept {
+			c.kept[k].Cells = widenCells(c.kept[k].Cells)
+		}
+	}
+	for len(x.post.byCol) < nCols {
+		x.post.byCol = append(x.post.byCol, make(map[uint32][]int))
+	}
+	x.sigs = newSigIndex()
+	for i := range x.base {
+		x.sigs.add(x.base[i].Cells, i)
+	}
+	x.eng.nCols = nCols
+}
+
+// verify checks that every previously ingested row still projects to its
+// recorded base tuple under the current schema and dictionary — the guard
+// against value-matching rounds rewriting history. Runs after widen, so
+// widths agree. Tables pointer-identical to the last Update are assumed
+// unchanged (ingested rows must not be mutated, per the Update contract)
+// and skipped, so a pure-append session pays nothing here; the fuzzy
+// pipeline hands the index fresh rewritten clones each round, which are
+// always re-verified.
+func (x *Index) verify(tables []*table.Table, schema Schema) bool {
+	if len(x.rowsSeen) == 0 {
+		return true
+	}
+	scratch := make([]uint32, x.eng.nCols)
+	for ti := range x.rowsSeen {
+		t := tables[ti]
+		if ti < len(x.lastTables) && x.lastTables[ti] == t {
+			continue
+		}
+		if x.rowsSeen[ti] > len(t.Rows) {
+			return false // rows disappeared; not an extension
+		}
+		mapping := schema.Mapping[ti]
+		for ri := 0; ri < x.rowsSeen[ti]; ri++ {
+			row := t.Rows[ri]
+			ok := true
+			for ci := range row {
+				if row[ci].IsNull {
+					continue
+				}
+				sym, known := x.dict.Symbol(row[ci].Val)
+				if !known {
+					ok = false
+					break
+				}
+				scratch[mapping[ci]] = sym
+			}
+			if ok && !slices.Equal(scratch, x.base[x.rowBase[ti][ri]].Cells) {
+				ok = false
+			}
+			for ci := range row {
+				if !row[ci].IsNull {
+					scratch[mapping[ci]] = 0
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ingest projects and interns every not-yet-seen row, deduplicating
+// against the signature index and unioning genuinely new tuples into the
+// component forest via posting-list probes. Returns the touched set: base
+// tuple ids that are new or whose provenance grew, the seeds of dirty
+// components.
+func (x *Index) ingest(tables []*table.Table, schema Schema, stats *Stats) []bool {
+	touched := make([]bool, len(x.base))
+	mark := uint32(x.dict.Len())
+	reused := make([]bool, mark+1)
+	var scratch stampSet
+
+	for len(x.rowsSeen) < len(tables) {
+		x.rowsSeen = append(x.rowsSeen, 0)
+		x.rowBase = append(x.rowBase, nil)
+	}
+	for ti, t := range tables {
+		mapping := schema.Mapping[ti]
+		for ri := x.rowsSeen[ti]; ri < len(t.Rows); ri++ {
+			cells := make([]uint32, x.eng.nCols)
+			for ci, cell := range t.Rows[ri] {
+				if cell.IsNull {
+					continue
+				}
+				sym := x.dict.Intern(cell.Val)
+				if sym <= mark && !reused[sym] {
+					reused[sym] = true
+					stats.ReusedValues++
+				}
+				cells[mapping[ci]] = sym
+			}
+			tid := TID{Table: ti, Row: ri}
+			at, hash, ok := x.sigs.find(cells, x.base)
+			if ok {
+				x.base[at].Prov = mergeProv(x.base[at].Prov, []TID{tid})
+				touched[at] = true
+				x.rowBase[ti] = append(x.rowBase[ti], at)
+				continue
+			}
+			id := len(x.base)
+			x.sigs.addHashed(hash, id)
+			x.base = append(x.base, Tuple{Cells: cells, Prov: []TID{tid}})
+			touched = append(touched, true)
+			x.uf.grow(id + 1)
+			scratch.next(id + 1)
+			x.post.candidates(id, cells, &scratch, func(j int) {
+				if x.uf.find(j) != x.uf.find(id) && consistentCells(x.base[j].Cells, cells) {
+					x.uf.union(id, j)
+				}
+			})
+			x.post.add(id, cells)
+			x.rowBase[ti] = append(x.rowBase[ti], id)
+		}
+		x.rowsSeen[ti] = len(t.Rows)
+	}
+	return touched
+}
+
+// close regroups the forest into components (ordered by smallest member,
+// exactly as the one-shot partitioner), reuses the cached kept tuples of
+// clean components, and re-closes the dirty ones. The returned tuples are
+// fresh copies, safe to fold, sort, and materialize without disturbing the
+// cache.
+func (x *Index) close(touched []bool, opts Options, stats *Stats) ([]Tuple, error) {
+	roots := make(map[int]int, len(x.comps)+1)
+	var groups [][]int
+	for i := range x.base {
+		r := x.uf.find(i)
+		gi, ok := roots[r]
+		if !ok {
+			gi = len(groups)
+			roots[r] = gi
+			groups = append(groups, nil)
+		}
+		groups[gi] = append(groups[gi], i)
+	}
+	stats.Components = len(groups)
+
+	// Split clean from dirty. A component is clean iff none of its members
+	// were touched this Update: untouched trees keep their root and member
+	// set, so the cache lookup by root is exact (the member-set comparison
+	// is a cheap invariant check).
+	newComps := make(map[int]*cachedComp, len(groups))
+	dirtyOf := make([]int, 0, len(groups)) // group index per dirty comp
+	var dirtyComps [][]Tuple
+	cleanExtra := 0 // closure tuples beyond base ones in clean comps, for budget parity
+	perGroup := make([]*cachedComp, len(groups))
+	for gi, members := range groups {
+		if len(members) > stats.LargestComp {
+			stats.LargestComp = len(members)
+		}
+		clean := true
+		for _, i := range members {
+			if touched[i] {
+				clean = false
+				break
+			}
+		}
+		root := x.uf.find(members[0])
+		if clean {
+			if cached, ok := x.comps[root]; ok && slices.Equal(cached.members, members) {
+				newComps[root] = cached
+				perGroup[gi] = cached
+				cleanExtra += cached.closure - len(cached.members)
+				continue
+			}
+		}
+		comp := make([]Tuple, len(members))
+		for k, id := range members {
+			comp[k] = x.base[id]
+		}
+		dirtyOf = append(dirtyOf, gi)
+		dirtyComps = append(dirtyComps, comp)
+	}
+	stats.DirtyComponents = len(dirtyComps)
+
+	// Close the dirty components through the same scheduler as the
+	// one-shot engine (closeSet: whole components across workers, or
+	// round-based parallelism inside a lone dirty component). The budget
+	// seeds with every tuple already live — base plus the cached closures'
+	// surplus — so Options.MaxTuples keeps its "total closure size"
+	// meaning across incremental runs.
+	bud := newBudget(opts.MaxTuples, len(x.base)+cleanExtra)
+	results, err := x.eng.closeSet(dirtyComps, opts.Workers, bud, stats)
+	if err != nil {
+		return nil, err
+	}
+	for di := range results {
+		r := &results[di]
+		stats.ReclosedTuples += r.closure
+		gi := dirtyOf[di]
+		members := groups[gi]
+		c := &cachedComp{members: members, kept: r.kept, closure: r.closure}
+		newComps[x.uf.find(members[0])] = c
+		perGroup[gi] = c
+	}
+	x.comps = newComps
+
+	var kept []Tuple
+	for gi := range groups {
+		c := perGroup[gi]
+		stats.Closure += c.closure
+		if c.closure > stats.LargestClose {
+			stats.LargestClose = c.closure
+		}
+		kept = append(kept, c.kept...)
+	}
+	return kept, nil
+}

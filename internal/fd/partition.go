@@ -58,6 +58,16 @@ func newUnionFind(n int) *unionFind {
 	return uf
 }
 
+// grow extends the forest to n elements, each new element a fresh
+// singleton. Existing sets are untouched, so the incremental index can
+// union new tuples into a forest built by earlier runs.
+func (u *unionFind) grow(n int) {
+	for len(u.parent) < n {
+		u.parent = append(u.parent, len(u.parent))
+		u.size = append(u.size, 1)
+	}
+}
+
 func (u *unionFind) find(x int) int {
 	for u.parent[x] != x {
 		u.parent[x] = u.parent[u.parent[x]]
@@ -133,12 +143,110 @@ func (e *engine) partition(tuples []Tuple) [][]Tuple {
 	return comps
 }
 
+// compResult is the outcome of closing one component.
+type compResult struct {
+	kept    []Tuple
+	stats   Stats
+	closure int
+	err     error
+}
+
+// closeOne closes one component (complementation closure followed by
+// subsumption removal) against the shared budget.
+func (e *engine) closeOne(comp []Tuple, bud *budget) compResult {
+	if len(comp) == 1 {
+		// A singleton component is its own closure and its own maximal
+		// tuple; skip the index setup entirely (data-lake inputs produce
+		// thousands of these).
+		if bud.exceeded() {
+			return compResult{err: ErrTupleBudget}
+		}
+		return compResult{kept: comp, closure: 1}
+	}
+	cl := newComponentClosure(e, comp, bud)
+	var st Stats
+	if err := cl.run(&st); err != nil {
+		return compResult{err: err}
+	}
+	return compResult{kept: e.subsume(cl.tuples), stats: st, closure: len(cl.tuples)}
+}
+
+// closeMany closes every listed component, sequentially or — with
+// workers > 1 — scheduled whole across workers, largest first so the long
+// poles start early. Results land in component order, so scheduling never
+// affects the output. Shared by the one-shot engine (over all components)
+// and the incremental index (over the dirty ones only).
+func (e *engine) closeMany(comps [][]Tuple, workers int, bud *budget) []compResult {
+	results := make([]compResult, len(comps))
+	if workers > len(comps) {
+		workers = len(comps)
+	}
+	if workers <= 1 {
+		for ci, comp := range comps {
+			results[ci] = e.closeOne(comp, bud)
+			if results[ci].err != nil {
+				break
+			}
+		}
+		return results
+	}
+	// Dispatch largest components first for balance.
+	order := make([]int, len(comps))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(comps[order[a]]) > len(comps[order[b]])
+	})
+	feed := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ci := range feed {
+				results[ci] = e.closeOne(comps[ci], bud)
+			}
+		}()
+	}
+	for _, ci := range order {
+		feed <- ci
+	}
+	close(feed)
+	wg.Wait()
+	return results
+}
+
+// closeSet closes the listed components — sequentially, scheduled whole
+// across workers, or (for a lone component that cannot be split) with
+// round-based parallelism inside it — and returns one compResult per
+// component, in order. Merge work counters land in stats. This is the
+// single implementation both the one-shot engine (over all components)
+// and the incremental index (over the dirty ones) close through, so the
+// two paths cannot diverge.
+func (e *engine) closeSet(comps [][]Tuple, workers int, bud *budget, stats *Stats) ([]compResult, error) {
+	if workers > 1 && len(comps) == 1 {
+		cl := newComponentClosure(e, comps[0], bud)
+		if err := cl.runParallel(workers, stats); err != nil {
+			return nil, err
+		}
+		return []compResult{{kept: e.subsume(cl.tuples), closure: len(cl.tuples)}}, nil
+	}
+	results := e.closeMany(comps, workers, bud)
+	for i := range results {
+		r := &results[i]
+		if r.err != nil {
+			return nil, r.err
+		}
+		stats.Merges += r.stats.Merges
+		stats.MergeAttempts += r.stats.MergeAttempts
+	}
+	return results, nil
+}
+
 // closeComponents runs complementation closure and subsumption removal on
 // every component and concatenates the surviving tuples in component
-// order. With opts.Workers > 1 whole components are scheduled across
-// workers, largest first so the long poles start early; a single-component
-// input instead falls back to round-based parallel closure inside the
-// component. The shared budget bounds the total tuple count across all
+// order. The shared budget bounds the total tuple count across all
 // components, matching the global engine's Options.MaxTuples semantics.
 func (e *engine) closeComponents(comps [][]Tuple, opts Options, bud *budget, stats *Stats) ([]Tuple, error) {
 	for _, comp := range comps {
@@ -146,95 +254,22 @@ func (e *engine) closeComponents(comps [][]Tuple, opts Options, bud *budget, sta
 			stats.LargestComp = len(comp)
 		}
 	}
+	stats.DirtyComponents = len(comps)
 
-	if opts.Workers > 1 && len(comps) == 1 {
-		cl := newComponentClosure(e, comps[0], bud)
-		if err := cl.runParallel(opts.Workers, stats); err != nil {
-			return nil, err
-		}
-		stats.Closure = len(cl.tuples)
-		stats.LargestClose = len(cl.tuples)
-		return e.subsume(cl.tuples), nil
+	results, err := e.closeSet(comps, opts.Workers, bud, stats)
+	if err != nil {
+		return nil, err
 	}
-
-	type compResult struct {
-		kept    []Tuple
-		stats   Stats
-		closure int
-		err     error
-	}
-	closeOne := func(comp []Tuple) compResult {
-		if len(comp) == 1 {
-			// A singleton component is its own closure and its own maximal
-			// tuple; skip the index setup entirely (data-lake inputs produce
-			// thousands of these).
-			if bud.exceeded() {
-				return compResult{err: ErrTupleBudget}
-			}
-			return compResult{kept: comp, closure: 1}
-		}
-		cl := newComponentClosure(e, comp, bud)
-		var st Stats
-		if err := cl.run(&st); err != nil {
-			return compResult{err: err}
-		}
-		return compResult{kept: e.subsume(cl.tuples), stats: st, closure: len(cl.tuples)}
-	}
-
-	results := make([]compResult, len(comps))
-	workers := opts.Workers
-	if workers > len(comps) {
-		workers = len(comps)
-	}
-	if workers <= 1 {
-		for ci, comp := range comps {
-			results[ci] = closeOne(comp)
-			if results[ci].err != nil {
-				return nil, results[ci].err
-			}
-		}
-	} else {
-		// Dispatch largest components first for balance; results land in
-		// component order, so scheduling never affects the output.
-		order := make([]int, len(comps))
-		for i := range order {
-			order[i] = i
-		}
-		sort.SliceStable(order, func(a, b int) bool {
-			return len(comps[order[a]]) > len(comps[order[b]])
-		})
-		feed := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for ci := range feed {
-					results[ci] = closeOne(comps[ci])
-				}
-			}()
-		}
-		for _, ci := range order {
-			feed <- ci
-		}
-		close(feed)
-		wg.Wait()
-	}
-
 	var kept []Tuple
 	for ci := range results {
 		r := &results[ci]
-		if r.err != nil {
-			return nil, r.err
-		}
-		stats.Merges += r.stats.Merges
-		stats.MergeAttempts += r.stats.MergeAttempts
 		stats.Closure += r.closure
 		if r.closure > stats.LargestClose {
 			stats.LargestClose = r.closure
 		}
 		kept = append(kept, r.kept...)
 	}
+	stats.ReclosedTuples = stats.Closure
 	return kept, nil
 }
 

@@ -7,6 +7,13 @@
 //
 // Symbol 0 (Null) is reserved for the null cell, so a tuple is a plain
 // []uint32 and null checks are integer compares.
+//
+// A Dict is append-only: symbols, once assigned, never change meaning, so
+// long-lived consumers (the incremental FD index of an integration
+// session) can hold symbol-encoded tuples across many interning rounds.
+// Snapshot captures an immutable view of the dictionary at a point in
+// time; reads through a Snapshot stay valid — and safe against data races
+// — while the parent Dict keeps growing.
 package intern
 
 // Null is the reserved symbol for the null cell. Dictionaries never assign
@@ -67,4 +74,43 @@ func (d *Dict) Less(a, b uint32) bool {
 		return a == Null
 	}
 	return d.vals[a-1] < d.vals[b-1]
+}
+
+// Snapshot is an immutable view of the first Len symbols of a Dict. The
+// backing array is shared with the parent (entries never mutate, and the
+// three-index slice below caps further appends out of the view), so taking
+// one is O(1) and later Intern calls on the parent neither invalidate the
+// view nor race with reads through it.
+type Snapshot struct {
+	vals []string
+}
+
+// Snapshot captures the dictionary's current contents as an immutable
+// view. Symbols interned after the snapshot are unknown to it.
+func (d *Dict) Snapshot() Snapshot {
+	return Snapshot{vals: d.vals[:len(d.vals):len(d.vals)]}
+}
+
+// Len reports the number of symbols the snapshot covers.
+func (s Snapshot) Len() int { return len(s.vals) }
+
+// Contains reports whether sym was assigned at snapshot time (Null is
+// never assigned, so it is not contained).
+func (s Snapshot) Contains(sym uint32) bool {
+	return sym != Null && sym <= uint32(len(s.vals))
+}
+
+// Value returns the string for a non-Null symbol covered by the snapshot.
+// As with Dict.Value, an unknown or Null symbol panics.
+func (s Snapshot) Value(sym uint32) string { return s.vals[sym-1] }
+
+// Less orders two snapshot symbols exactly as Dict.Less does.
+func (s Snapshot) Less(a, b uint32) bool {
+	if a == b {
+		return false
+	}
+	if a == Null || b == Null {
+		return a == Null
+	}
+	return s.vals[a-1] < s.vals[b-1]
 }

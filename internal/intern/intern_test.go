@@ -44,6 +44,42 @@ func TestSymbol(t *testing.T) {
 	}
 }
 
+func TestSnapshot(t *testing.T) {
+	d := NewDict()
+	b := d.Intern("b")
+	a := d.Intern("a")
+	snap := d.Snapshot()
+
+	// Later interning must not leak into the snapshot.
+	c := d.Intern("c")
+	if snap.Len() != 2 {
+		t.Errorf("snapshot Len=%d want 2", snap.Len())
+	}
+	if !snap.Contains(a) || !snap.Contains(b) {
+		t.Error("snapshot misses symbols interned before it")
+	}
+	if snap.Contains(c) {
+		t.Error("snapshot contains a symbol interned after it")
+	}
+	if snap.Contains(Null) {
+		t.Error("snapshot contains Null")
+	}
+	if snap.Value(a) != "a" || snap.Value(b) != "b" {
+		t.Errorf("snapshot values: %q %q", snap.Value(a), snap.Value(b))
+	}
+	// Less follows value order, like the parent.
+	if !snap.Less(a, b) || snap.Less(b, a) || snap.Less(a, a) {
+		t.Error("snapshot Less should order by value")
+	}
+	if !snap.Less(Null, a) || snap.Less(a, Null) {
+		t.Error("Null must sort before any value in a snapshot")
+	}
+	// The parent keeps growing independently.
+	if d.Len() != 3 {
+		t.Errorf("parent Len=%d want 3", d.Len())
+	}
+}
+
 func TestLess(t *testing.T) {
 	d := NewDict()
 	b := d.Intern("b") // interned first, so symbol order disagrees with

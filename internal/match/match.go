@@ -80,6 +80,24 @@ func NewColumn(name string, cells []string) Column {
 	return col
 }
 
+// DistinctValues returns the distinct values across the columns, in
+// first-seen order — the warm list for pre-embedding a column set (see
+// embed.Warm). Shared by the pipeline's match stage and MatchValues so
+// the two paths cannot drift.
+func DistinctValues(cols []Column) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, c := range cols {
+		for _, v := range c.Values {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
 // Member is one value of a cluster, identified by the column it came from.
 type Member struct {
 	Col   int    // index into the matched column set

@@ -1,0 +1,179 @@
+package fuzzyfd
+
+// BenchmarkSessionAmortized measures the tentpole of the serving scenario:
+// K overlapping IMDB-shaped batches integrated through one Session (delta
+// closure, persistent dictionary) versus K independent Integrate calls
+// over the growing union (full recompute each time). The equi-join
+// pipeline is benchmarked so the comparison isolates the Full Disjunction
+// delta path; see TestSessionAmortizesClosureWork for why.
+//
+// Alongside the Go benchmark numbers, one instrumented pass per batch
+// shape is written to BENCH_session.json (per-step wall clock plus
+// DirtyComponents / ReclosedTuples / ReusedValues), so the perf trajectory
+// tracks how much closure work the session amortizes away, not just total
+// time.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"fuzzyfd/internal/datagen"
+)
+
+const (
+	sessionBenchSeed    = 42
+	sessionBenchTuples  = 6000
+	sessionBenchBatches = 5
+)
+
+// sessionBenchSets builds the two batch shapes of the serving scenario:
+//
+//   - "extend": the same six tables split into row-chunks — every batch
+//     adds rows about the existing entities, so hub components keep going
+//     dirty and the session saves only the clean tail;
+//   - "arrive": independently drawn IMDB-shaped batches — mostly new
+//     entities per batch over a shared vocabulary (the Gen-T/EcoTable
+//     repeated-query regime), where old components stay clean and the
+//     delta path pays for one batch regardless of history.
+func sessionBenchSets() map[string][][]*Table {
+	extend := sessionRowBatches(sessionBenchSeed, sessionBenchTuples, sessionBenchBatches)
+	arrive := make([][]*Table, sessionBenchBatches)
+	for k := range arrive {
+		arrive[k] = datagen.IMDB(datagen.IMDBConfig{
+			Seed:        sessionBenchSeed + int64(k),
+			TotalTuples: sessionBenchTuples / sessionBenchBatches,
+		})
+	}
+	return map[string][][]*Table{"extend": extend, "arrive": arrive}
+}
+
+func BenchmarkSessionAmortized(b *testing.B) {
+	sets := sessionBenchSets()
+	opts := []Option{WithEquiJoin()}
+	for _, shape := range []string{"extend", "arrive"} {
+		batches := sets[shape]
+		b.Run(shape+"/session", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, err := NewSession(opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, batch := range batches {
+					s.Add(batch...)
+					if _, err := s.Integrate(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		b.Run(shape+"/independent", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var acc []*Table
+				for _, batch := range batches {
+					acc = append(acc, batch...)
+					if _, err := Integrate(acc, opts...); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+
+	if err := writeSessionBenchJSON("BENCH_session.json", sets, opts); err != nil {
+		b.Logf("BENCH_session.json not written: %v", err)
+	}
+}
+
+// sessionBenchStep is one per-batch measurement of the instrumented pass.
+type sessionBenchStep struct {
+	Batch           int     `json:"batch"`
+	Tables          int     `json:"tables"`
+	Rows            int     `json:"rows"`
+	SessionMS       float64 `json:"session_ms"`
+	IndependentMS   float64 `json:"independent_ms"`
+	Components      int     `json:"components"`
+	DirtyComponents int     `json:"dirty_components"`
+	Closure         int     `json:"closure"`
+	ReclosedTuples  int     `json:"reclosed_tuples"`
+	ReusedValues    int     `json:"reused_values"`
+}
+
+type sessionBenchShape struct {
+	Shape         string             `json:"shape"`
+	Steps         []sessionBenchStep `json:"steps"`
+	SessionMS     float64            `json:"session_total_ms"`
+	IndependentMS float64            `json:"independent_total_ms"`
+	Speedup       float64            `json:"speedup"`
+}
+
+type sessionBenchReport struct {
+	Benchmark   string              `json:"benchmark"`
+	Method      string              `json:"method"`
+	Seed        int64               `json:"seed"`
+	TotalTuples int                 `json:"total_tuples"`
+	Batches     int                 `json:"batches"`
+	Shapes      []sessionBenchShape `json:"shapes"`
+}
+
+// writeSessionBenchJSON runs one instrumented session-vs-independent pass
+// per batch shape and records per-step timings and reuse statistics.
+func writeSessionBenchJSON(path string, sets map[string][][]*Table, opts []Option) error {
+	report := sessionBenchReport{
+		Benchmark:   "session_amortized",
+		Method:      "equi",
+		Seed:        sessionBenchSeed,
+		TotalTuples: sessionBenchTuples,
+		Batches:     sessionBenchBatches,
+	}
+	for _, shape := range []string{"extend", "arrive"} {
+		sr := sessionBenchShape{Shape: shape}
+		s, err := NewSession(opts...)
+		if err != nil {
+			return err
+		}
+		var acc []*Table
+		for k, batch := range sets[shape] {
+			s.Add(batch...)
+			start := time.Now()
+			res, err := s.Integrate()
+			if err != nil {
+				return err
+			}
+			sessionMS := float64(time.Since(start).Microseconds()) / 1000
+
+			acc = append(acc, batch...)
+			start = time.Now()
+			if _, err := Integrate(acc, opts...); err != nil {
+				return err
+			}
+			independentMS := float64(time.Since(start).Microseconds()) / 1000
+
+			f := res.FDStats
+			sr.Steps = append(sr.Steps, sessionBenchStep{
+				Batch:           k + 1,
+				Tables:          s.Tables(),
+				Rows:            res.Table.NumRows(),
+				SessionMS:       sessionMS,
+				IndependentMS:   independentMS,
+				Components:      f.Components,
+				DirtyComponents: f.DirtyComponents,
+				Closure:         f.Closure,
+				ReclosedTuples:  f.ReclosedTuples,
+				ReusedValues:    f.ReusedValues,
+			})
+			sr.SessionMS += sessionMS
+			sr.IndependentMS += independentMS
+		}
+		if sr.SessionMS > 0 {
+			sr.Speedup = sr.IndependentMS / sr.SessionMS
+		}
+		report.Shapes = append(report.Shapes, sr)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
