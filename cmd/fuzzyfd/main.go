@@ -8,6 +8,8 @@
 //	fuzzyfd -align -headers ...                  # content-based alignment
 //	fuzzyfd -prov ...                            # append a provenance column
 //	fuzzyfd -session t1.csv t2.csv t3.csv ...    # incremental integration
+//	fuzzyfd -stream t1.csv t2.csv                # stream JSONL rows per component
+//	fuzzyfd -progress ...                        # live phase/component progress
 //
 // With -session the files are integrated incrementally: the first two
 // form the initial set, then every further file is added to the running
@@ -16,15 +18,29 @@
 // stderr, so the amortization of the session state is directly visible;
 // the final result prints as usual.
 //
+// With -stream the integrated rows are written to stdout as JSON Lines as
+// soon as each connected component of the integration closes, instead of
+// after the whole computation — the first rows appear while later
+// components are still closing.
+//
+// Ctrl-C (or SIGTERM) cancels a running integration cleanly: the closure
+// stops at the next cancellation checkpoint — even inside a single huge
+// component — partial progress statistics are printed, and the process
+// exits with status 130.
+//
 // Statistics (phase timings, merge counts) go to stderr.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"fuzzyfd"
@@ -35,18 +51,20 @@ func main() {
 	log.SetPrefix("fuzzyfd: ")
 
 	var (
-		model   = flag.String("model", fuzzyfd.ModelMistral, "embedding model: "+strings.Join(fuzzyfd.Models(), "|"))
-		theta   = flag.Float64("theta", fuzzyfd.DefaultThreshold, "value matching threshold in (0,1]")
-		equi    = flag.Bool("equi", false, "disable value matching (regular FD baseline)")
-		alignC  = flag.Bool("align", false, "align columns by content instead of by name")
-		headers = flag.Bool("headers", false, "with -align, also use header text")
-		workers = flag.Int("workers", 1, "parallel FD workers")
-		budget  = flag.Int("budget", 0, "abort if the FD closure exceeds this many tuples (0 = unlimited)")
-		session = flag.Bool("session", false, "integrate incrementally: add one file at a time to a persistent session")
-		out     = flag.String("out", "", "write the integrated table to this CSV file instead of stdout")
-		prov    = flag.Bool("prov", false, "append a provenance column (source tuple IDs)")
-		jsonOut = flag.Bool("json", false, "emit JSON Lines instead of a rendered table/CSV")
-		quiet   = flag.Bool("q", false, "suppress statistics on stderr")
+		model    = flag.String("model", fuzzyfd.ModelMistral, "embedding model: "+strings.Join(fuzzyfd.Models(), "|"))
+		theta    = flag.Float64("theta", fuzzyfd.DefaultThreshold, "value matching threshold in (0,1]")
+		equi     = flag.Bool("equi", false, "disable value matching (regular FD baseline)")
+		alignC   = flag.Bool("align", false, "align columns by content instead of by name")
+		headers  = flag.Bool("headers", false, "with -align, also use header text")
+		workers  = flag.Int("workers", 1, "parallel FD workers")
+		budget   = flag.Int("budget", 0, "abort if the FD closure exceeds this many tuples (0 = unlimited)")
+		session  = flag.Bool("session", false, "integrate incrementally: add one file at a time to a persistent session")
+		stream   = flag.Bool("stream", false, "stream the result to stdout as JSON Lines, one component at a time")
+		progress = flag.Bool("progress", false, "report pipeline phases and per-component closure progress on stderr")
+		out      = flag.String("out", "", "write the integrated table to this CSV file instead of stdout")
+		prov     = flag.Bool("prov", false, "append a provenance column (source tuple IDs)")
+		jsonOut  = flag.Bool("json", false, "emit JSON Lines instead of a rendered table/CSV")
+		quiet    = flag.Bool("q", false, "suppress statistics on stderr")
 	)
 	flag.Parse()
 
@@ -54,6 +72,17 @@ func main() {
 	if len(paths) < 2 {
 		log.Fatal("need at least two CSV files to integrate")
 	}
+	if *stream && (*session || *out != "" || *prov) {
+		log.Fatal("-stream writes JSONL to stdout and combines only with matcher/engine flags")
+	}
+
+	// Ctrl-C / SIGTERM cancel the running integration at its next
+	// cancellation checkpoint. The first signal only cancels ctx; the
+	// AfterFunc then unregisters the handler, so a second signal gets
+	// default handling and kills even a run stuck between checkpoints.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	context.AfterFunc(ctx, stop)
 
 	tables := make([]*fuzzyfd.Table, len(paths))
 	for i, p := range paths {
@@ -80,40 +109,53 @@ func main() {
 	if *budget > 0 {
 		opts = append(opts, fuzzyfd.WithTupleBudget(*budget))
 	}
+	// Always observe progress: -progress prints it live, and a canceled
+	// run reports how far it got either way.
+	tracker := &progressTracker{print: *progress}
+	opts = append(opts, fuzzyfd.WithProgress(tracker.observe))
 
 	var res *fuzzyfd.Result
 	var err error
-	if *session {
-		res, err = runSession(tables, paths, opts, *quiet)
-	} else {
-		res, err = fuzzyfd.Integrate(tables, opts...)
+	switch {
+	case *stream:
+		res, err = fuzzyfd.StreamJSONL(ctx, os.Stdout, tables, opts...)
+	case *session:
+		res, err = runSession(ctx, tables, paths, opts, *quiet)
+	default:
+		res, err = fuzzyfd.IntegrateContext(ctx, tables, opts...)
 	}
 	if err != nil {
+		if errors.Is(err, fuzzyfd.ErrCanceled) {
+			tracker.reportCanceled(err)
+			os.Exit(130)
+		}
 		log.Fatal(err)
 	}
 
-	result := res.Table
-	if *prov {
-		result = res.TableWithProvenance()
-	}
-
-	switch {
-	case *jsonOut:
-		if err := fuzzyfd.WriteJSONL(os.Stdout, result); err != nil {
-			log.Fatal(err)
+	if !*stream {
+		result := res.Table
+		if *prov {
+			result = res.TableWithProvenance()
 		}
-	case *out != "":
-		if err := fuzzyfd.WriteCSVFile(*out, result); err != nil {
-			log.Fatal(err)
+		switch {
+		case *jsonOut:
+			if err := fuzzyfd.WriteJSONL(os.Stdout, result); err != nil {
+				log.Fatal(err)
+			}
+		case *out != "":
+			if err := fuzzyfd.WriteCSVFile(*out, result); err != nil {
+				log.Fatal(err)
+			}
+		default:
+			fmt.Print(result)
 		}
-	default:
-		fmt.Print(result)
 	}
 
 	if !*quiet {
+		rows := res.FDStats.Output
 		fmt.Fprintf(os.Stderr,
 			"integrated %d tables: %d input tuples -> %d rows (merges=%d subsumed=%d)\n",
-			len(tables), res.FDStats.InputTuples, res.Table.NumRows(),
+			len(tables), res.FDStats.InputTuples, rows,
 			res.FDStats.Merges, res.FDStats.Subsumed)
 		fmt.Fprintf(os.Stderr, "timings: align=%v match=%v fd=%v total=%v\n",
 			res.Timings.Align, res.Timings.Match, res.Timings.FD, res.Timings.Total)
@@ -124,10 +166,64 @@ func main() {
 	}
 }
 
+// progressTracker records the latest pipeline progress for cancellation
+// reporting and optionally prints it live. Events arrive from the
+// integrating goroutine — the same one that later reads the fields, so no
+// locking is needed.
+type progressTracker struct {
+	print      bool
+	phase      string
+	components int // closed so far in the FD phase
+	total      int
+	closure    int // closure tuples across closed components
+}
+
+func (p *progressTracker) observe(ev fuzzyfd.ProgressEvent) {
+	p.phase = ev.Phase
+	if ev.Phase == fuzzyfd.PhaseFD && !ev.Done && ev.Component == 0 {
+		// A new FD run starts (each -session step runs one): the partial
+		// counters describe only the run a cancellation would interrupt.
+		p.components, p.total, p.closure = 0, 0, 0
+	}
+	if ev.Component > 0 {
+		p.components = ev.Component
+		p.total = ev.Components
+		p.closure += ev.ClosureTuples
+	}
+	if !p.print {
+		return
+	}
+	switch {
+	case ev.Done:
+		fmt.Fprintf(os.Stderr, "progress: %s done in %v\n", ev.Phase, ev.Elapsed.Round(time.Microsecond))
+	case ev.Component > 0:
+		// Cap component chatter: data-lake inputs close thousands of
+		// singleton components; report ~20 waypoints plus the last.
+		step := ev.Components/20 + 1
+		if ev.Component%step == 0 || ev.Component == ev.Components {
+			fmt.Fprintf(os.Stderr, "progress: fd component %d/%d closed (%d closure tuples)\n",
+				ev.Component, ev.Components, ev.ClosureTuples)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "progress: %s...\n", ev.Phase)
+	}
+}
+
+// reportCanceled prints how far the integration got before cancellation.
+func (p *progressTracker) reportCanceled(err error) {
+	fmt.Fprintf(os.Stderr, "canceled: %v\n", err)
+	if p.components > 0 {
+		fmt.Fprintf(os.Stderr, "canceled during %s: %d/%d components closed (%d closure tuples) — partial work discarded\n",
+			p.phase, p.components, p.total, p.closure)
+	} else if p.phase != "" {
+		fmt.Fprintf(os.Stderr, "canceled during %s phase\n", p.phase)
+	}
+}
+
 // runSession integrates the tables incrementally — the first two seed the
 // session, then one table per step — reporting per-step wall clock and
 // how much closure work the session reused. Returns the final result.
-func runSession(tables []*fuzzyfd.Table, paths []string, opts []fuzzyfd.Option, quiet bool) (*fuzzyfd.Result, error) {
+func runSession(ctx context.Context, tables []*fuzzyfd.Table, paths []string, opts []fuzzyfd.Option, quiet bool) (*fuzzyfd.Result, error) {
 	s, err := fuzzyfd.NewSession(opts...)
 	if err != nil {
 		return nil, err
@@ -140,8 +236,11 @@ func runSession(tables []*fuzzyfd.Table, paths []string, opts []fuzzyfd.Option, 
 			continue // seed with two tables before the first integration
 		}
 		stepStart := time.Now()
-		res, err = s.Integrate()
+		res, err = s.IntegrateContext(ctx)
 		if err != nil {
+			if errors.Is(err, fuzzyfd.ErrCanceled) {
+				return nil, err
+			}
 			return nil, fmt.Errorf("session step %d (%s): %w", s.Tables(), paths[i], err)
 		}
 		step := time.Since(stepStart)

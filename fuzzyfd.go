@@ -30,10 +30,27 @@
 // scenario), use a Session instead of repeated Integrate calls: it keeps
 // the value dictionary, embedding cache, match clusters, and Full
 // Disjunction index alive across calls and re-closes only what each new
-// batch of tables touches.
+// batch of tables touches. Sessions are safe for concurrent use.
+//
+// Every entry point has a Context variant (IntegrateContext,
+// Session.IntegrateContext, MatchValuesContext, DiscoverJoinableContext,
+// ...) that observes cancellation and deadlines down to single-component
+// granularity inside the Full Disjunction closure; the context-free
+// signatures are context.Background() wrappers kept for compatibility.
+// Failures carry typed errors — ErrTupleBudget, ErrCanceled, and
+// *PhaseError naming the pipeline phase — that errors.Is/As unwrap, and
+// WithProgress streams phase transitions and per-component closure counts
+// to a callback. For results too large (or too urgent) to materialize,
+// Result.Rows iterates rows with provenance, and StreamJSONL emits rows as
+// each connected component closes rather than waiting for the whole
+// integration.
 package fuzzyfd
 
 import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
@@ -58,9 +75,43 @@ type (
 	TID = fd.TID
 	// Result is an integration result: the integrated table, per-row
 	// provenance, value clusters, statistics, and per-phase timings.
+	// Result.Rows iterates rows with provenance as an iter.Seq2.
 	Result = core.Result
 	// ValueCluster is one set of matched values with its representative.
 	ValueCluster = match.Cluster
+	// FDStats reports the work done by the Full Disjunction stage (see
+	// Result.FDStats and Session.Stats).
+	FDStats = fd.Stats
+	// ProgressEvent is one report delivered to a WithProgress callback: a
+	// pipeline phase starting or completing, or one connected component's
+	// closure finishing during the FD phase.
+	ProgressEvent = core.ProgressEvent
+	// PhaseError wraps an integration failure with the pipeline phase it
+	// came from (PhaseAlign, PhaseMatch, or PhaseFD); errors.As extracts
+	// it, and it unwraps to the underlying cause.
+	PhaseError = core.PhaseError
+)
+
+// Pipeline phase names carried by ProgressEvent and PhaseError.
+const (
+	PhaseAlign = core.PhaseAlign
+	PhaseMatch = core.PhaseMatch
+	PhaseFD    = core.PhaseFD
+)
+
+// Typed failure modes, matchable with errors.Is through any wrapping
+// (including *PhaseError).
+var (
+	// ErrTupleBudget is returned when the Full Disjunction closure exceeds
+	// the WithTupleBudget limit.
+	ErrTupleBudget = fd.ErrTupleBudget
+	// ErrCanceled is returned when a context passed to a ...Context entry
+	// point is canceled or its deadline expires. Such errors also match
+	// the context's own error (context.Canceled or
+	// context.DeadlineExceeded) under errors.Is.
+	ErrCanceled = fd.ErrCanceled
+	// ErrNoTables is returned when integrating an empty set.
+	ErrNoTables = core.ErrNoTables
 )
 
 // Embedding model names, ordered weakest to strongest (paper Table 1).
@@ -191,11 +242,31 @@ func WithMatchWorkers(workers int) Option {
 	}
 }
 
-// WithTupleBudget aborts integration if the Full Disjunction closure
-// exceeds n tuples — a safety valve for pathological join blowup.
+// WithTupleBudget aborts integration with ErrTupleBudget if the Full
+// Disjunction closure exceeds n tuples — a safety valve for pathological
+// join blowup. n must be at least 1; to run unbounded, omit the option.
 func WithTupleBudget(n int) Option {
 	return func(o *options) error {
+		if n < 1 {
+			return fmt.Errorf("fuzzyfd: tuple budget %d < 1", n)
+		}
 		o.cfg.FD.MaxTuples = n
+		return nil
+	}
+}
+
+// WithProgress registers a callback observing the integration as it runs:
+// phase transitions (align, match, fd — start and completion with elapsed
+// time) and, during the FD phase, every connected component's closure
+// completing with its closure tuple count. Events arrive from the
+// integrating goroutine in order; the callback must be fast and must not
+// call back into the Session being integrated.
+func WithProgress(fn func(ProgressEvent)) Option {
+	return func(o *options) error {
+		if fn == nil {
+			return fmt.Errorf("fuzzyfd: nil progress callback")
+		}
+		o.cfg.Progress = fn
 		return nil
 	}
 }
@@ -234,13 +305,66 @@ func buildOptions(opts []Option) (core.Config, error) {
 }
 
 // Integrate applies Fuzzy Full Disjunction (or the equi-join baseline, with
-// WithEquiJoin) to the integration set. Input tables are not modified.
+// WithEquiJoin) to the integration set. Input tables are not modified. It
+// is IntegrateContext with context.Background().
 func Integrate(tables []*Table, opts ...Option) (*Result, error) {
+	return IntegrateContext(context.Background(), tables, opts...)
+}
+
+// IntegrateContext is Integrate under a context. Cancellation and deadline
+// expiry are observed at phase boundaries, inside the match phase's
+// embedding warm-up and assignment rounds, and inside the Full Disjunction
+// closure — at component boundaries and periodically within a component,
+// so even one huge component is interrupted promptly. A canceled run
+// returns an error matching ErrCanceled (and the context's error), wrapped
+// in a *PhaseError naming the interrupted phase. With an uncanceled
+// context the result is byte-identical to Integrate's.
+func IntegrateContext(ctx context.Context, tables []*Table, opts ...Option) (*Result, error) {
 	cfg, err := buildOptions(opts)
 	if err != nil {
 		return nil, err
 	}
-	return core.Integrate(tables, cfg)
+	return core.IntegrateContext(ctx, tables, cfg)
+}
+
+// StreamJSONL integrates the tables and writes the result to w as JSON
+// Lines (the WriteJSONL row encoding), emitting each row as soon as the
+// connected component producing it closes instead of materializing the
+// whole result first — results begin to flow after the first component,
+// and a canceled context keeps the rows already written as a usable
+// partial prefix. Row order is deterministic across runs but differs from
+// Integrate's globally sorted order (rows are grouped by component); the
+// row multiset is Integrate's, except that a fully-empty input row's
+// all-null output is dropped rather than folded when other rows exist.
+// The returned Result carries schema, statistics, and timings, but no
+// materialized Table or Prov.
+func StreamJSONL(ctx context.Context, w io.Writer, tables []*Table, opts ...Option) (*Result, error) {
+	cfg, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	// Buffer the writes but flush at every component completion (progress
+	// events fire after a component's rows are emitted), so rows become
+	// visible per closed component without a syscall per row.
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	userProgress := cfg.Progress
+	cfg.Progress = func(ev ProgressEvent) {
+		if ev.Phase == PhaseFD && ev.Component > 0 {
+			bw.Flush()
+		}
+		if userProgress != nil {
+			userProgress(ev)
+		}
+	}
+	res, err := core.Stream(ctx, tables, cfg, func(schema fd.Schema, row Row, _ []TID) error {
+		return enc.Encode(table.RowObject(schema.Columns, row))
+	})
+	// Flush the tail even on error: the partial prefix is the point.
+	if ferr := bw.Flush(); err == nil && ferr != nil {
+		err = ferr
+	}
+	return res, err
 }
 
 // Session integrates a growing set of tables incrementally. Where
@@ -258,8 +382,13 @@ func Integrate(tables []*Table, opts ...Option) (*Result, error) {
 // Every Integrate result is byte-identical — tables and provenance — to a
 // one-shot Integrate over all tables added so far; see Result.FDStats
 // (ReusedValues, DirtyComponents, ReclosedTuples) for how much work the
-// session skipped. Added tables must not be modified afterwards. A Session
-// is not safe for concurrent use.
+// session skipped. Added tables must not be modified afterwards.
+//
+// A Session is safe for concurrent use: Add and Integrate serialize
+// against each other on an internal lock, while Tables, Stats, and Last
+// are read-side snapshots that proceed concurrently with each other.
+// Results are immutable once returned, so a reader may keep a Result while
+// other goroutines integrate on.
 type Session struct {
 	s *core.Session
 }
@@ -281,10 +410,35 @@ func (s *Session) Add(tables ...*Table) { s.s.Add(tables...) }
 // Tables reports the number of tables added so far.
 func (s *Session) Tables() int { return s.s.Tables() }
 
+// Last returns the result of the most recent successful Integrate, or nil
+// before the first one — a snapshot read that does not block concurrent
+// integrations already holding the lock (it waits only for the lock, never
+// recomputes).
+func (s *Session) Last() *Result { return s.s.Last() }
+
+// Stats reports the Full Disjunction statistics of the most recent
+// successful Integrate (the zero FDStats before the first one).
+func (s *Session) Stats() FDStats {
+	if last := s.s.Last(); last != nil {
+		return last.FDStats
+	}
+	return FDStats{}
+}
+
 // Integrate computes the integration of every table added so far, reusing
 // the session's cached state for everything the newly added tables do not
 // touch.
 func (s *Session) Integrate() (*Result, error) { return s.s.Integrate() }
+
+// IntegrateContext is Integrate under a context, with the cancellation
+// semantics of the package-level IntegrateContext. A canceled integration
+// leaves the session consistent — cached state the run did not reach is
+// kept, the FD index discards its partial delta — so a later call with a
+// live context completes normally and stays byte-identical to a one-shot
+// run.
+func (s *Session) IntegrateContext(ctx context.Context) (*Result, error) {
+	return s.s.IntegrateContext(ctx)
+}
 
 // MatchValues runs only the fuzzy value-matching component over a set of
 // aligning columns (each a list of cell values), returning the disjoint
@@ -292,6 +446,13 @@ func (s *Session) Integrate() (*Result, error) { return s.s.Integrate() }
 // custom integration flows. The embedding warm-up honors WithMatchWorkers,
 // as in the full pipeline.
 func MatchValues(columns [][]string, opts ...Option) ([]ValueCluster, error) {
+	return MatchValuesContext(context.Background(), columns, opts...)
+}
+
+// MatchValuesContext is MatchValues under a context: cancellation is
+// observed between embedding warm-up values and between sequential
+// assignment rounds, returning an error matching ErrCanceled.
+func MatchValuesContext(ctx context.Context, columns [][]string, opts ...Option) ([]ValueCluster, error) {
 	cfg, err := buildOptions(opts)
 	if err != nil {
 		return nil, err
@@ -303,9 +464,24 @@ func MatchValues(columns [][]string, opts ...Option) ([]ValueCluster, error) {
 		cols[i] = match.NewColumn(fmt.Sprintf("col%d", i), c)
 	}
 	if values := match.DistinctValues(cols); len(values) > 0 {
-		embed.Warm(emb, values, cfg.ResolvedMatchWorkers())
+		if err := embed.WarmContext(ctx, emb, values, cfg.ResolvedMatchWorkers()); err != nil {
+			return nil, fd.Canceled(err)
+		}
 	}
-	return m.Match(cols)
+	clusters, err := m.MatchContext(ctx, cols)
+	if err != nil {
+		return nil, markCanceled(err)
+	}
+	return clusters, nil
+}
+
+// markCanceled wraps context errors so they match ErrCanceled, passing
+// every other error through.
+func markCanceled(err error) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return fd.Canceled(err)
+	}
+	return err
 }
 
 // Models lists the available embedding model names, weakest tier first.
@@ -320,23 +496,43 @@ type Candidate = discovery.Candidate
 // search step that precedes integration in the paper's pipeline; hand the
 // discovered tables to Integrate.
 func DiscoverJoinable(query *Table, corpus []*Table, k int, opts ...Option) ([]Candidate, error) {
-	return discover(query, corpus, k, opts, true)
+	return DiscoverJoinableContext(context.Background(), query, corpus, k, opts...)
+}
+
+// DiscoverJoinableContext is DiscoverJoinable under a context, checked
+// once per corpus table; a dead context returns an error matching
+// ErrCanceled.
+func DiscoverJoinableContext(ctx context.Context, query *Table, corpus []*Table, k int, opts ...Option) ([]Candidate, error) {
+	return discover(ctx, query, corpus, k, opts, true)
 }
 
 // DiscoverUnionable ranks corpus tables by schema-level unionability with
 // the query (column-content similarity), returning the top k.
 func DiscoverUnionable(query *Table, corpus []*Table, k int, opts ...Option) ([]Candidate, error) {
-	return discover(query, corpus, k, opts, false)
+	return DiscoverUnionableContext(context.Background(), query, corpus, k, opts...)
 }
 
-func discover(query *Table, corpus []*Table, k int, opts []Option, join bool) ([]Candidate, error) {
+// DiscoverUnionableContext is DiscoverUnionable under a context, checked
+// once per corpus table; a dead context returns an error matching
+// ErrCanceled.
+func DiscoverUnionableContext(ctx context.Context, query *Table, corpus []*Table, k int, opts ...Option) ([]Candidate, error) {
+	return discover(ctx, query, corpus, k, opts, false)
+}
+
+func discover(ctx context.Context, query *Table, corpus []*Table, k int, opts []Option, join bool) ([]Candidate, error) {
 	cfg, err := buildOptions(opts)
 	if err != nil {
 		return nil, err
 	}
 	s := &discovery.Searcher{Emb: cfg.ResolvedEmbedder()}
+	var cands []Candidate
 	if join {
-		return s.Joinables(query, corpus, k)
+		cands, err = s.JoinablesContext(ctx, query, corpus, k)
+	} else {
+		cands, err = s.UnionablesContext(ctx, query, corpus, k)
 	}
-	return s.Unionables(query, corpus, k)
+	if err != nil {
+		return nil, markCanceled(err)
+	}
+	return cands, nil
 }

@@ -12,7 +12,10 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"fmt"
+	"iter"
 	"runtime"
 	"strings"
 	"time"
@@ -41,6 +44,53 @@ func (m Method) String() string {
 	return "Fuzzy FD"
 }
 
+// Pipeline phase names, as reported by ProgressEvent and PhaseError.
+const (
+	PhaseAlign = "align"
+	PhaseMatch = "match"
+	PhaseFD    = "fd"
+)
+
+// ProgressEvent is one progress report from a running integration: a phase
+// starting (Done false), a phase completing (Done true, with Elapsed), or —
+// during the FD phase — one connected component's closure completing
+// (Component ≥ 1). Events are delivered from the integrating goroutine, in
+// order; the callback must not call back into the Session it observes.
+type ProgressEvent struct {
+	Phase   string        // PhaseAlign, PhaseMatch, or PhaseFD
+	Done    bool          // phase completed
+	Elapsed time.Duration // set on phase-completion events
+
+	// Per-component closure progress (FD phase only; zero on phase
+	// transitions): Component counts components closed so far this run out
+	// of Components scheduled, the just-closed one having ClosureTuples
+	// closure tuples.
+	Component     int
+	Components    int
+	ClosureTuples int
+}
+
+// PhaseError records which pipeline phase an integration error came from.
+// It unwraps, so errors.Is/As reach the underlying cause (fd.ErrTupleBudget,
+// fd.ErrCanceled, context.DeadlineExceeded, ...).
+type PhaseError struct {
+	Phase string // PhaseAlign, PhaseMatch, or PhaseFD
+	Err   error
+}
+
+func (e *PhaseError) Error() string { return fmt.Sprintf("core: %s: %v", e.Phase, e.Err) }
+func (e *PhaseError) Unwrap() error { return e.Err }
+
+// phaseErr wraps a stage failure in a PhaseError, first marking context
+// cancellations so the result matches fd.ErrCanceled (fd-layer errors
+// arrive pre-marked; fd.Canceled is idempotent).
+func phaseErr(phase string, err error) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		err = fd.Canceled(err)
+	}
+	return &PhaseError{Phase: phase, Err: err}
+}
+
 // Config parameterizes an integration run. The zero value is a usable Fuzzy
 // FD configuration with the paper's defaults (Mistral embeddings, θ=0.7,
 // schema alignment by identical column names).
@@ -67,6 +117,10 @@ type Config struct {
 	MatchWorkers int
 	// FD tunes the Full Disjunction computation.
 	FD fd.Options
+	// Progress, when non-nil, observes phase transitions and per-component
+	// closure completions (see ProgressEvent). Called from the integrating
+	// goroutine; it must be fast and must not call back into the session.
+	Progress func(ProgressEvent)
 }
 
 // ResolvedMatchWorkers returns the effective match-phase concurrency
@@ -117,6 +171,25 @@ func (r *Result) FDResult() *fd.Result {
 	return &fd.Result{Table: r.Table, Prov: r.Prov, Stats: r.FDStats}
 }
 
+// Rows iterates the integrated rows with their provenance, in result
+// order — range-over-func sugar for walking Table.Rows and Prov together:
+//
+//	for row, prov := range res.Rows() { ... }
+//
+// A Result without a materialized table (from Stream) yields nothing.
+func (r *Result) Rows() iter.Seq2[table.Row, []fd.TID] {
+	return func(yield func(table.Row, []fd.TID) bool) {
+		if r.Table == nil {
+			return
+		}
+		for i, row := range r.Table.Rows {
+			if !yield(row, r.Prov[i]) {
+				return
+			}
+		}
+	}
+}
+
 // TableWithProvenance returns a copy of the integrated table with a
 // leading TIDs column listing each row's source tuples — the presentation
 // of the paper's Figure 1.
@@ -143,9 +216,37 @@ var ErrNoTables = errors.New("core: no tables to integrate")
 // one Add, one Integrate — so the one-shot and incremental paths are the
 // same code and stay byte-identical by construction.
 func Integrate(tables []*table.Table, cfg Config) (*Result, error) {
+	return IntegrateContext(context.Background(), tables, cfg)
+}
+
+// IntegrateContext is Integrate under a context: cancellation and
+// deadlines are observed at phase boundaries, inside the match phase's
+// embedding warm-up and assignment rounds, and inside the FD closure down
+// to single-component granularity. A canceled run returns an error
+// matching fd.ErrCanceled (and the context's own error), wrapped in a
+// *PhaseError naming the interrupted phase.
+func IntegrateContext(ctx context.Context, tables []*table.Table, cfg Config) (*Result, error) {
 	s := NewSession(cfg)
 	s.Add(tables...)
-	return s.Integrate()
+	return s.IntegrateContext(ctx)
+}
+
+// fdOptions resolves the FD options for one run, adapting Progress onto
+// the fd layer's per-component callback.
+func (c Config) fdOptions() fd.Options {
+	opts := c.FD
+	if c.Progress != nil {
+		progress := c.Progress
+		opts.Progress = func(p fd.ComponentProgress) {
+			progress(ProgressEvent{
+				Phase:         PhaseFD,
+				Component:     p.Done,
+				Components:    p.Total,
+				ClosureTuples: p.Closure,
+			})
+		}
+	}
+	return opts
 }
 
 // applyRewrite replaces column ci's cell values according to m.

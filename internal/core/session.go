@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"fuzzyfd/internal/align"
@@ -30,16 +32,24 @@ import (
 // one-shot Integrate over the accumulated set.
 //
 // Tables handed to Add are never mutated, but the session keeps references
-// to them; the caller must not modify them afterwards. A Session is not
-// safe for concurrent use.
+// to them; the caller must not modify them afterwards.
+//
+// A Session is safe for concurrent use: an internal RWMutex serializes the
+// mutating calls (Add, Integrate, IntegrateContext) against each other,
+// while the read-side calls (Tables, Integrations, Last, EmbeddingCache)
+// take only a read lock and proceed concurrently with each other. A reader
+// arriving during a long Integrate blocks until it finishes — snapshot
+// reads never observe half-updated session state.
 type Session struct {
 	cfg   Config
 	emb   embed.Embedder
 	cache *embed.ValueCache
 
+	mu       sync.RWMutex
 	tables   []*table.Table
 	clusters map[clusterDigest][]match.Cluster // aligned-column-set content -> clusters
 	idx      *fd.Index
+	last     *Result
 
 	integrations int
 }
@@ -60,27 +70,99 @@ func NewSession(cfg Config) *Session {
 // Add appends tables to the session's integration set. It performs no
 // computation; the next Integrate folds the new tables in.
 func (s *Session) Add(tables ...*table.Table) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.tables = append(s.tables, tables...)
 }
 
 // Tables reports the number of tables added so far.
-func (s *Session) Tables() int { return len(s.tables) }
+func (s *Session) Tables() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.tables)
+}
 
 // Integrations reports the number of completed Integrate calls.
-func (s *Session) Integrations() int { return s.integrations }
+func (s *Session) Integrations() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.integrations
+}
+
+// Last returns the result of the most recent successful Integrate, or nil
+// before the first one. The result is a snapshot — later Integrates build
+// fresh Results rather than mutating old ones — so readers may hold it
+// while other goroutines keep integrating.
+func (s *Session) Last() *Result {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.last
+}
 
 // EmbeddingCache exposes the session's value-embedding cache, for
-// diagnostics (hit/miss counts across repeated integrations).
+// diagnostics (hit/miss counts across repeated integrations). The cache is
+// itself safe for concurrent use.
 func (s *Session) EmbeddingCache() *embed.ValueCache { return s.cache }
+
+// emit delivers a progress event, if a callback is configured.
+func (s *Session) emit(ev ProgressEvent) {
+	if s.cfg.Progress != nil {
+		s.cfg.Progress(ev)
+	}
+}
 
 // Integrate computes the configured pipeline over every table added so
 // far, reusing the session's cached state wherever the input still
 // matches it.
-func (s *Session) Integrate() (*Result, error) {
-	if len(s.tables) == 0 {
-		return nil, ErrNoTables
-	}
+func (s *Session) Integrate() (*Result, error) { return s.IntegrateContext(context.Background()) }
+
+// IntegrateContext is Integrate under a context: cancellation and
+// deadlines are observed at phase boundaries, inside the match phase, and
+// inside the FD closure (see IntegrateContext at package level). The
+// session stays consistent after a canceled run — cached state the run did
+// not reach is kept, the FD index discards its partially ingested delta —
+// so a later call with a live context completes normally.
+func (s *Session) IntegrateContext(ctx context.Context) (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	start := time.Now()
+	work, schema, res, err := s.prepare(ctx)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 3: incremental equi-join Full Disjunction over the rewritten
+	// view. The index verifies that previously ingested rows still hold
+	// (a matching round may have re-elected representatives) and closes
+	// only dirty components.
+	fdStart := time.Now()
+	s.emit(ProgressEvent{Phase: PhaseFD})
+	fdRes, err := s.idx.UpdateContext(ctx, work, schema, s.cfg.fdOptions())
+	if err != nil {
+		return nil, phaseErr(PhaseFD, err)
+	}
+	res.Table = fdRes.Table
+	res.Prov = fdRes.Prov
+	res.FDStats = fdRes.Stats
+	res.Timings.FD = time.Since(fdStart)
+	res.Timings.Total = time.Since(start)
+	s.emit(ProgressEvent{Phase: PhaseFD, Done: true, Elapsed: res.Timings.FD})
+	s.integrations++
+	s.last = res
+	return res, nil
+}
+
+// prepare runs the pre-FD pipeline stages — column alignment and (for the
+// fuzzy method) value matching with cell rewriting — returning the tables
+// the FD stage should consume and a Result with the schema, match
+// diagnostics, and stage timings filled in. Callers must hold s.mu.
+func (s *Session) prepare(ctx context.Context) ([]*table.Table, fd.Schema, *Result, error) {
+	if len(s.tables) == 0 {
+		return nil, fd.Schema{}, nil, ErrNoTables
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fd.Schema{}, nil, phaseErr(PhaseAlign, err)
+	}
 	tables := s.tables
 	res := &Result{ColumnClusters: make(map[int][]match.Cluster)}
 
@@ -88,6 +170,7 @@ func (s *Session) Integrate() (*Result, error) {
 	// set (new tables can re-shape every column cluster), but its
 	// embeddings come from the session cache.
 	alignStart := time.Now()
+	s.emit(ProgressEvent{Phase: PhaseAlign})
 	var schema fd.Schema
 	if s.cfg.AlignContent {
 		aligner := &align.Aligner{
@@ -97,47 +180,34 @@ func (s *Session) Integrate() (*Result, error) {
 		}
 		ar, err := aligner.Align(tables)
 		if err != nil {
-			return nil, fmt.Errorf("core: align: %w", err)
+			return nil, fd.Schema{}, nil, phaseErr(PhaseAlign, err)
 		}
 		schema = ar.Schema(tables)
 	} else {
 		schema = fd.IdentitySchema(tables)
 	}
 	if err := schema.Validate(tables); err != nil {
-		return nil, err
+		return nil, fd.Schema{}, nil, err
 	}
 	res.Schema = schema
 	res.Timings.Align = time.Since(alignStart)
+	s.emit(ProgressEvent{Phase: PhaseAlign, Done: true, Elapsed: res.Timings.Align})
 
 	// Stage 2 (fuzzy only): value matching and cell rewriting, with
 	// cluster reuse per aligned column set.
 	work := tables
 	if s.cfg.Method == MethodFuzzyFD {
 		matchStart := time.Now()
-		rewritten, err := s.matchAndRewrite(tables, schema, res)
+		s.emit(ProgressEvent{Phase: PhaseMatch})
+		rewritten, err := s.matchAndRewrite(ctx, tables, schema, res)
 		if err != nil {
-			return nil, err
+			return nil, fd.Schema{}, nil, err
 		}
 		work = rewritten
 		res.Timings.Match = time.Since(matchStart)
+		s.emit(ProgressEvent{Phase: PhaseMatch, Done: true, Elapsed: res.Timings.Match})
 	}
-
-	// Stage 3: incremental equi-join Full Disjunction over the rewritten
-	// view. The index verifies that previously ingested rows still hold
-	// (a matching round may have re-elected representatives) and closes
-	// only dirty components.
-	fdStart := time.Now()
-	fdRes, err := s.idx.Update(work, schema, s.cfg.FD)
-	if err != nil {
-		return nil, fmt.Errorf("core: full disjunction: %w", err)
-	}
-	res.Table = fdRes.Table
-	res.Prov = fdRes.Prov
-	res.FDStats = fdRes.Stats
-	res.Timings.FD = time.Since(fdStart)
-	res.Timings.Total = time.Since(start)
-	s.integrations++
-	return res, nil
+	return work, schema, res, nil
 }
 
 // matchAndRewrite runs the Match Values component over every aligned
@@ -145,7 +215,7 @@ func (s *Session) Integrate() (*Result, error) {
 // of the tables. Cluster results are cached on the set's exact contents:
 // a column set untouched by newly added tables reuses its clusters without
 // re-running assignment.
-func (s *Session) matchAndRewrite(tables []*table.Table, schema fd.Schema, res *Result) ([]*table.Table, error) {
+func (s *Session) matchAndRewrite(ctx context.Context, tables []*table.Table, schema fd.Schema, res *Result) ([]*table.Table, error) {
 	// Invert the schema: output column -> contributing (table, column)
 	// refs in table order (the order the paper's sequential matching
 	// consumes them).
@@ -187,7 +257,9 @@ func (s *Session) matchAndRewrite(tables []*table.Table, schema fd.Schema, res *
 		allCols = append(allCols, cols...)
 	}
 	if values := match.DistinctValues(allCols); len(values) > 0 {
-		embed.Warm(s.emb, values, s.cfg.ResolvedMatchWorkers())
+		if err := embed.WarmContext(ctx, s.emb, values, s.cfg.ResolvedMatchWorkers()); err != nil {
+			return nil, phaseErr(PhaseMatch, err)
+		}
 	}
 
 	rewritten := make([]*table.Table, len(tables))
@@ -202,9 +274,9 @@ func (s *Session) matchAndRewrite(tables []*table.Table, schema fd.Schema, res *
 		clusters, ok := s.clusters[key]
 		if !ok {
 			var err error
-			clusters, err = matcher.Match(cs.cols)
+			clusters, err = matcher.MatchContext(ctx, cs.cols)
 			if err != nil {
-				return nil, fmt.Errorf("core: match output column %q: %w", schema.Columns[cs.out], err)
+				return nil, phaseErr(PhaseMatch, fmt.Errorf("output column %q: %w", schema.Columns[cs.out], err))
 			}
 		}
 		newClusters[key] = clusters

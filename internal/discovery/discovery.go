@@ -13,6 +13,7 @@
 package discovery
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sort"
@@ -86,12 +87,21 @@ func (s *Searcher) sampleSize() int {
 // the query: the mean, over the query's columns, of the best cosine
 // similarity to any candidate column (matching kinds only).
 func (s *Searcher) Unionables(query *table.Table, corpus []*table.Table, k int) ([]Candidate, error) {
+	return s.UnionablesContext(context.Background(), query, corpus, k)
+}
+
+// UnionablesContext is Unionables under a context, checked once per corpus
+// table so large corpora cancel promptly.
+func (s *Searcher) UnionablesContext(ctx context.Context, query *table.Table, corpus []*table.Table, k int) ([]Candidate, error) {
 	if s.Emb == nil {
 		return nil, ErrNoEmbedder
 	}
 	qvecs, qkinds := s.columnProfiles(query)
 	var out []Candidate
 	for _, cand := range corpus {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if cand == query {
 			continue
 		}
@@ -124,12 +134,21 @@ func (s *Searcher) Unionables(query *table.Table, corpus []*table.Table, k int) 
 // containment of some query column in some candidate column:
 // |Q ∩ C| / |Q| over folded distinct values.
 func (s *Searcher) Joinables(query *table.Table, corpus []*table.Table, k int) ([]Candidate, error) {
+	return s.JoinablesContext(context.Background(), query, corpus, k)
+}
+
+// JoinablesContext is Joinables under a context, checked once per corpus
+// table so large corpora cancel promptly.
+func (s *Searcher) JoinablesContext(ctx context.Context, query *table.Table, corpus []*table.Table, k int) ([]Candidate, error) {
 	if s.Emb == nil {
 		return nil, ErrNoEmbedder
 	}
 	qsets := s.valueSets(query)
 	var out []Candidate
 	for _, cand := range corpus {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if cand == query {
 			continue
 		}

@@ -10,6 +10,7 @@
 package embed
 
 import (
+	"context"
 	"hash/fnv"
 	"math"
 	"sync"
@@ -108,11 +109,22 @@ func hashInto(features []feature, dim int) Vector {
 // and the Model implementation memoizes per distinct value, so warming is
 // a pure speedup for the value-matching phase on large columns.
 func Warm(e Embedder, values []string, workers int) {
+	WarmContext(context.Background(), e, values, workers)
+}
+
+// WarmContext is Warm under a context: every worker checks the context
+// before each value, so a slow embedder's warm-up pool stops within one
+// in-flight embedding per worker of the cancellation. Returns the context
+// error if the warm-up was cut short (the cache simply stays partial).
+func WarmContext(ctx context.Context, e Embedder, values []string, workers int) error {
 	if workers < 2 || len(values) < 2*workers {
 		for _, v := range values {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			e.Embed(v)
 		}
-		return
+		return nil
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -120,11 +132,15 @@ func Warm(e Embedder, values []string, workers int) {
 		go func(w int) {
 			defer wg.Done()
 			for i := w; i < len(values); i += workers {
+				if ctx.Err() != nil {
+					return
+				}
 				e.Embed(values[i])
 			}
 		}(w)
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // cache is a concurrency-safe value→vector memo. Cell values repeat heavily

@@ -1,11 +1,40 @@
 package fd
 
 import (
+	"context"
 	"sort"
 	"sync"
 
 	"fuzzyfd/internal/intern"
 )
+
+// cancelEvery is how many candidate expansions pass between context polls
+// inside a component closure. Small enough that a deadline interrupts even
+// the hub component that dominates wall-clock on data-lake inputs, large
+// enough that the poll is invisible next to the merge work it brackets.
+const cancelEvery = 1024
+
+// cancelCheck amortizes context polling over cancelEvery calls. The zero
+// countdown forces a poll on the first call, so a dead context is noticed
+// before any work happens.
+type cancelCheck struct {
+	ctx  context.Context
+	left int
+}
+
+// poll returns a Canceled-wrapped error once the context is dead, checking
+// the context only every cancelEvery calls.
+func (c *cancelCheck) poll() error {
+	if c.left > 0 {
+		c.left--
+		return nil
+	}
+	c.left = cancelEvery
+	if err := c.ctx.Err(); err != nil {
+		return Canceled(err)
+	}
+	return nil
+}
 
 // postingIndex is an inverted index from (output column, value symbol) to
 // the tuples holding that symbol. Complementation candidates must share at
@@ -115,8 +144,9 @@ func newComponentClosure(eng *engine, comp []Tuple, bud *budget) *closure {
 
 // run closes the store under pairwise complementation using a worklist. New
 // merged tuples are appended and indexed, so merges compose transitively
-// until fixpoint.
-func (c *closure) run(stats *Stats) error {
+// until fixpoint. The context is polled every cancelEvery candidate
+// expansions, so cancellation interrupts even one giant component.
+func (c *closure) run(ctx context.Context, stats *Stats) error {
 	if len(c.tuples) > 0 && c.bud.exceeded() {
 		return ErrTupleBudget
 	}
@@ -125,16 +155,20 @@ func (c *closure) run(stats *Stats) error {
 		queue[i] = i
 	}
 	var scratch stampSet
-	var budgetErr error
+	var stopErr error
+	chk := cancelCheck{ctx: ctx}
 
-	for len(queue) > 0 && budgetErr == nil {
+	for len(queue) > 0 && stopErr == nil {
 		i := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 
 		scratch.next(len(c.tuples))
 		var newIDs []int
 		c.idx.candidates(i, c.tuples[i].Cells, &scratch, func(j int) {
-			if budgetErr != nil {
+			if stopErr != nil {
+				return
+			}
+			if stopErr = chk.poll(); stopErr != nil {
 				return
 			}
 			stats.MergeAttempts++
@@ -152,14 +186,14 @@ func (c *closure) run(stats *Stats) error {
 			c.sigs.addHashed(hash, id)
 			c.tuples = append(c.tuples, Tuple{Cells: merged, Prov: mergeProv(c.tuples[i].Prov, c.tuples[j].Prov)})
 			newIDs = append(newIDs, id)
-			budgetErr = c.bud.add(1)
+			stopErr = c.bud.add(1)
 		})
 		for _, id := range newIDs {
 			c.idx.add(id, c.tuples[id].Cells)
 			queue = append(queue, id)
 		}
 	}
-	return budgetErr
+	return stopErr
 }
 
 // runParallel is the round-based parallel closure (after Paganelli et al.),
@@ -168,8 +202,11 @@ func (c *closure) run(stats *Stats) error {
 // partitioned across workers that read a shared snapshot of the store and
 // emit merge proposals; the coordinator then applies proposals in
 // deterministic (value) order and builds the next frontier. The final
-// closure is identical to run's.
-func (c *closure) runParallel(workers int, stats *Stats) error {
+// closure is identical to run's. Each worker polls the context every
+// cancelEvery expansions and the coordinator checks it per round; on
+// cancellation the partial round is discarded and an ErrCanceled-marked
+// error returned.
+func (c *closure) runParallel(ctx context.Context, workers int, stats *Stats) error {
 	if len(c.tuples) > 0 && c.bud.exceeded() {
 		return ErrTupleBudget
 	}
@@ -184,6 +221,9 @@ func (c *closure) runParallel(workers int, stats *Stats) error {
 	}
 
 	for len(frontier) > 0 {
+		if err := ctx.Err(); err != nil {
+			return Canceled(err)
+		}
 		w := workers
 		if w > len(frontier) {
 			w = len(frontier)
@@ -197,10 +237,16 @@ func (c *closure) runParallel(workers int, stats *Stats) error {
 				defer wg.Done()
 				var scratch stampSet
 				var out []proposal
-				for fi := wi; fi < len(frontier); fi += w {
+				chk := cancelCheck{ctx: ctx, left: cancelEvery}
+				canceled := false
+				for fi := wi; fi < len(frontier) && !canceled; fi += w {
 					i := frontier[fi]
 					scratch.next(len(c.tuples))
 					c.idx.candidates(i, c.tuples[i].Cells, &scratch, func(j int) {
+						if canceled || chk.poll() != nil {
+							canceled = true
+							return
+						}
 						attempts[wi]++
 						merged, ok := tryMerge(c.tuples[i].Cells, c.tuples[j].Cells)
 						if !ok {
@@ -216,6 +262,9 @@ func (c *closure) runParallel(workers int, stats *Stats) error {
 			}(wi)
 		}
 		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return Canceled(err)
+		}
 
 		var all []proposal
 		for wi, r := range results {

@@ -34,6 +34,7 @@
 package fd
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -183,10 +184,46 @@ type Options struct {
 	// outer union globally — the pre-partitioned engine, kept as an
 	// equivalence baseline and ablation. Partitioning is on by default.
 	NoPartition bool
+	// Progress, when non-nil, is called once per closed component, always
+	// from the assembling goroutine (never concurrently), in completion
+	// order. It must not block for long: with Workers > 1 it is on the
+	// path that drains worker results.
+	Progress func(ComponentProgress)
+}
+
+// ComponentProgress reports one component's closure completing.
+type ComponentProgress struct {
+	Done    int // components closed so far this run (1-based, monotonic)
+	Total   int // components scheduled this run
+	Members int // outer-union tuples of the component that just closed
+	Closure int // closure tuples of that component
 }
 
 // ErrTupleBudget is returned when the closure exceeds Options.MaxTuples.
 var ErrTupleBudget = errors.New("fd: tuple budget exceeded")
+
+// ErrCanceled marks an integration aborted by context cancellation or
+// deadline expiry. Errors returned for a dead context match both this
+// sentinel and the underlying context error under errors.Is.
+var ErrCanceled = errors.New("integration canceled")
+
+// canceledError wraps a context error so callers can match either
+// ErrCanceled or context.Canceled/DeadlineExceeded.
+type canceledError struct{ cause error }
+
+func (e *canceledError) Error() string        { return "integration canceled: " + e.cause.Error() }
+func (e *canceledError) Unwrap() error        { return e.cause }
+func (e *canceledError) Is(target error) bool { return target == ErrCanceled }
+
+// Canceled marks err as a cancellation: the result matches ErrCanceled and
+// unwraps to err. Nil and already-marked errors pass through, so wrapping
+// is idempotent across layers.
+func Canceled(err error) error {
+	if err == nil || errors.Is(err, ErrCanceled) {
+		return err
+	}
+	return &canceledError{cause: err}
+}
 
 // Stats reports the work done by one Full Disjunction computation. For an
 // incremental computation (Index.Update), the tuple counts describe the
@@ -223,9 +260,21 @@ type Result struct {
 // rows are sorted by cell value order, so results are deterministic and
 // directly comparable across algorithm variants.
 func FullDisjunction(tables []*table.Table, schema Schema, opts Options) (*Result, error) {
+	return FullDisjunctionContext(context.Background(), tables, schema, opts)
+}
+
+// FullDisjunctionContext is FullDisjunction under a context: cancellation
+// and deadlines are observed at component boundaries and, inside a
+// component, every cancelEvery candidate expansions — so even a single hub
+// component that dominates the closure is interrupted promptly. A dead
+// context yields an error matching ErrCanceled.
+func FullDisjunctionContext(ctx context.Context, tables []*table.Table, schema Schema, opts Options) (*Result, error) {
 	start := time.Now()
 	if err := schema.Validate(tables); err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, Canceled(err)
 	}
 	var stats Stats
 	for _, t := range tables {
@@ -242,20 +291,23 @@ func FullDisjunction(tables []*table.Table, schema Schema, opts Options) (*Resul
 		cl := newClosure(eng, tuples, sigs, bud)
 		var err error
 		if opts.Workers > 1 {
-			err = cl.runParallel(opts.Workers, &stats)
+			err = cl.runParallel(ctx, opts.Workers, &stats)
 		} else {
-			err = cl.run(&stats)
+			err = cl.run(ctx, &stats)
 		}
 		if err != nil {
 			return nil, err
 		}
 		stats.Closure = len(cl.tuples)
 		kept = eng.subsume(cl.tuples)
+		if opts.Progress != nil {
+			opts.Progress(ComponentProgress{Done: 1, Total: 1, Members: stats.OuterUnion, Closure: stats.Closure})
+		}
 	} else {
 		comps := eng.partition(tuples)
 		stats.Components = len(comps)
 		var err error
-		kept, err = eng.closeComponents(comps, opts, bud, &stats)
+		kept, err = eng.closeComponents(ctx, comps, opts, bud, &stats)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package fd
 
 import (
+	"context"
 	"slices"
 	"time"
 
@@ -94,15 +95,28 @@ func (x *Index) Snapshot() intern.Snapshot { return x.dict.Snapshot() }
 // Only components touched by new or re-deduplicated tuples are re-closed;
 // see the Stats work counters for what was actually done.
 func (x *Index) Update(tables []*table.Table, schema Schema, opts Options) (*Result, error) {
+	return x.UpdateContext(context.Background(), tables, schema, opts)
+}
+
+// UpdateContext is Update under a context. Cancellation is observed at
+// component boundaries and inside component closures (see
+// FullDisjunctionContext); a canceled Update drops the tuple store — the
+// delta was partially ingested but the component cache was not refreshed —
+// so the next Update rebuilds from the tables (the dictionary survives, as
+// with a tuple-budget abort).
+func (x *Index) UpdateContext(ctx context.Context, tables []*table.Table, schema Schema, opts Options) (*Result, error) {
 	start := time.Now()
 	if err := schema.Validate(tables); err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, Canceled(err)
 	}
 	if opts.NoPartition {
 		// The flat global closure has no component structure to reuse;
 		// delegate to the one-shot engine. Later partitioned Updates pick
 		// the delta tracking back up.
-		return FullDisjunction(tables, schema, opts)
+		return FullDisjunctionContext(ctx, tables, schema, opts)
 	}
 
 	var stats Stats
@@ -131,12 +145,12 @@ func (x *Index) Update(tables []*table.Table, schema Schema, opts Options) (*Res
 	x.lastTables = append(x.lastTables[:0], tables...)
 
 	// Stage 3: regroup the forest and close the dirty components. On
-	// failure (tuple budget) the store has already ingested the delta but
-	// the component cache was not refreshed — the touched marks would be
-	// lost and a later Update could reuse stale cached results, silently
-	// dropping merged provenance. Drop the store (the dictionary survives)
-	// so the next Update rebuilds from the tables.
-	kept, err := x.close(touched, opts, &stats)
+	// failure (tuple budget, cancellation) the store has already ingested
+	// the delta but the component cache was not refreshed — the touched
+	// marks would be lost and a later Update could reuse stale cached
+	// results, silently dropping merged provenance. Drop the store (the
+	// dictionary survives) so the next Update rebuilds from the tables.
+	kept, err := x.close(ctx, touched, opts, &stats)
 	if err != nil {
 		x.reset()
 		return nil, err
@@ -339,7 +353,7 @@ func (x *Index) ingest(tables []*table.Table, schema Schema, stats *Stats) []boo
 // clean components, and re-closes the dirty ones. The returned tuples are
 // fresh copies, safe to fold, sort, and materialize without disturbing the
 // cache.
-func (x *Index) close(touched []bool, opts Options, stats *Stats) ([]Tuple, error) {
+func (x *Index) close(ctx context.Context, touched []bool, opts Options, stats *Stats) ([]Tuple, error) {
 	roots := make(map[int]int, len(x.comps)+1)
 	var groups [][]int
 	for i := range x.base {
@@ -399,7 +413,7 @@ func (x *Index) close(touched []bool, opts Options, stats *Stats) ([]Tuple, erro
 	// surplus — so Options.MaxTuples keeps its "total closure size"
 	// meaning across incremental runs.
 	bud := newBudget(opts.MaxTuples, len(x.base)+cleanExtra)
-	results, err := x.eng.closeSet(dirtyComps, opts.Workers, bud, stats)
+	results, err := x.eng.closeSet(ctx, dirtyComps, opts, bud, stats)
 	if err != nil {
 		return nil, err
 	}

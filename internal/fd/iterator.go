@@ -1,6 +1,7 @@
 package fd
 
 import (
+	"context"
 	"sort"
 
 	"fuzzyfd/internal/table"
@@ -98,7 +99,7 @@ func (it *Iterator) Decode(t Tuple) table.Row { return it.eng.decodeRow(t.Cells)
 func (it *Iterator) closeComponent(comp []Tuple) ([]Tuple, error) {
 	cl := newComponentClosure(it.eng, comp, newBudget(it.opts.MaxTuples, len(comp)))
 	var stats Stats
-	if err := cl.run(&stats); err != nil {
+	if err := cl.run(context.Background(), &stats); err != nil {
 		return nil, err
 	}
 	kept := it.eng.subsume(cl.tuples)

@@ -1,6 +1,7 @@
 package fd
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -152,8 +153,9 @@ type compResult struct {
 }
 
 // closeOne closes one component (complementation closure followed by
-// subsumption removal) against the shared budget.
-func (e *engine) closeOne(comp []Tuple, bud *budget) compResult {
+// subsumption removal) against the shared budget, polling ctx inside the
+// closure.
+func (e *engine) closeOne(ctx context.Context, comp []Tuple, bud *budget) compResult {
 	if len(comp) == 1 {
 		// A singleton component is its own closure and its own maximal
 		// tuple; skip the index setup entirely (data-lake inputs produce
@@ -165,30 +167,41 @@ func (e *engine) closeOne(comp []Tuple, bud *budget) compResult {
 	}
 	cl := newComponentClosure(e, comp, bud)
 	var st Stats
-	if err := cl.run(&st); err != nil {
+	if err := cl.run(ctx, &st); err != nil {
 		return compResult{err: err}
 	}
 	return compResult{kept: e.subsume(cl.tuples), stats: st, closure: len(cl.tuples)}
 }
 
-// closeMany closes every listed component, sequentially or — with
+// closeEach closes every listed component, sequentially or — with
 // workers > 1 — scheduled whole across workers, largest first so the long
-// poles start early. Results land in component order, so scheduling never
-// affects the output. Shared by the one-shot engine (over all components)
-// and the incremental index (over the dirty ones only).
-func (e *engine) closeMany(comps [][]Tuple, workers int, bud *budget) []compResult {
-	results := make([]compResult, len(comps))
+// poles start early. Each result is handed to deliver on the calling
+// goroutine as soon as its component finishes (completion order, tagged
+// with the component index), which is what backs streaming output and
+// per-component progress: with workers, results flow from the closers to
+// this assembler through a channel. The context is checked at every
+// component boundary (and inside components by the closure itself).
+// Returns the first component error, context cancellation, or deliver
+// error; later deliveries are suppressed after a failure, but in-flight
+// components drain before returning.
+func (e *engine) closeEach(ctx context.Context, comps [][]Tuple, workers int, bud *budget, deliver func(ci int, r compResult) error) error {
 	if workers > len(comps) {
 		workers = len(comps)
 	}
 	if workers <= 1 {
 		for ci, comp := range comps {
-			results[ci] = e.closeOne(comp, bud)
-			if results[ci].err != nil {
-				break
+			if err := ctx.Err(); err != nil {
+				return Canceled(err)
+			}
+			r := e.closeOne(ctx, comp, bud)
+			if r.err != nil {
+				return r.err
+			}
+			if err := deliver(ci, r); err != nil {
+				return err
 			}
 		}
-		return results
+		return nil
 	}
 	// Dispatch largest components first for balance.
 	order := make([]int, len(comps))
@@ -198,48 +211,95 @@ func (e *engine) closeMany(comps [][]Tuple, workers int, bud *budget) []compResu
 	sort.SliceStable(order, func(a, b int) bool {
 		return len(comps[order[a]]) > len(comps[order[b]])
 	})
+	type closedComp struct {
+		ci int
+		r  compResult
+	}
 	feed := make(chan int)
+	out := make(chan closedComp)
+	stop := make(chan struct{})
+	go func() { // feeder: stops dispatching once a failure is seen
+		defer close(feed)
+		for _, ci := range order {
+			select {
+			case feed <- ci:
+			case <-stop:
+				return
+			}
+		}
+	}()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for ci := range feed {
-				results[ci] = e.closeOne(comps[ci], bud)
+				out <- closedComp{ci: ci, r: e.closeOne(ctx, comps[ci], bud)}
 			}
 		}()
 	}
-	for _, ci := range order {
-		feed <- ci
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+			close(stop)
+		}
 	}
-	close(feed)
-	wg.Wait()
-	return results
+	for cc := range out { // assembler: single goroutine, serialized delivery
+		switch {
+		case cc.r.err != nil:
+			fail(cc.r.err)
+		case firstErr == nil:
+			if err := deliver(cc.ci, cc.r); err != nil {
+				fail(err)
+			}
+		}
+	}
+	if firstErr == nil {
+		if err := ctx.Err(); err != nil {
+			return Canceled(err)
+		}
+	}
+	return firstErr
 }
 
 // closeSet closes the listed components — sequentially, scheduled whole
 // across workers, or (for a lone component that cannot be split) with
 // round-based parallelism inside it — and returns one compResult per
-// component, in order. Merge work counters land in stats. This is the
-// single implementation both the one-shot engine (over all components)
-// and the incremental index (over the dirty ones) close through, so the
-// two paths cannot diverge.
-func (e *engine) closeSet(comps [][]Tuple, workers int, bud *budget, stats *Stats) ([]compResult, error) {
-	if workers > 1 && len(comps) == 1 {
+// component, in order. Merge work counters land in stats and opts.Progress
+// observes every completion. This is the single implementation both the
+// one-shot engine (over all components) and the incremental index (over
+// the dirty ones) close through, so the two paths cannot diverge.
+func (e *engine) closeSet(ctx context.Context, comps [][]Tuple, opts Options, bud *budget, stats *Stats) ([]compResult, error) {
+	if opts.Workers > 1 && len(comps) == 1 {
 		cl := newComponentClosure(e, comps[0], bud)
-		if err := cl.runParallel(workers, stats); err != nil {
+		if err := cl.runParallel(ctx, opts.Workers, stats); err != nil {
 			return nil, err
 		}
-		return []compResult{{kept: e.subsume(cl.tuples), closure: len(cl.tuples)}}, nil
-	}
-	results := e.closeMany(comps, workers, bud)
-	for i := range results {
-		r := &results[i]
-		if r.err != nil {
-			return nil, r.err
+		r := compResult{kept: e.subsume(cl.tuples), closure: len(cl.tuples)}
+		if opts.Progress != nil {
+			opts.Progress(ComponentProgress{Done: 1, Total: 1, Members: len(comps[0]), Closure: r.closure})
 		}
+		return []compResult{r}, nil
+	}
+	results := make([]compResult, len(comps))
+	done := 0
+	err := e.closeEach(ctx, comps, opts.Workers, bud, func(ci int, r compResult) error {
+		results[ci] = r
 		stats.Merges += r.stats.Merges
 		stats.MergeAttempts += r.stats.MergeAttempts
+		done++
+		if opts.Progress != nil {
+			opts.Progress(ComponentProgress{Done: done, Total: len(comps), Members: len(comps[ci]), Closure: r.closure})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return results, nil
 }
@@ -248,7 +308,7 @@ func (e *engine) closeSet(comps [][]Tuple, workers int, bud *budget, stats *Stat
 // every component and concatenates the surviving tuples in component
 // order. The shared budget bounds the total tuple count across all
 // components, matching the global engine's Options.MaxTuples semantics.
-func (e *engine) closeComponents(comps [][]Tuple, opts Options, bud *budget, stats *Stats) ([]Tuple, error) {
+func (e *engine) closeComponents(ctx context.Context, comps [][]Tuple, opts Options, bud *budget, stats *Stats) ([]Tuple, error) {
 	for _, comp := range comps {
 		if len(comp) > stats.LargestComp {
 			stats.LargestComp = len(comp)
@@ -256,7 +316,7 @@ func (e *engine) closeComponents(comps [][]Tuple, opts Options, bud *budget, sta
 	}
 	stats.DirtyComponents = len(comps)
 
-	results, err := e.closeSet(comps, opts.Workers, bud, stats)
+	results, err := e.closeSet(ctx, comps, opts, bud, stats)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,194 @@
+package fd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"fuzzyfd/internal/table"
+)
+
+// streamAll drains Stream into row/prov slices.
+func streamAll(t *testing.T, ctx context.Context, tables []*table.Table, opts Options) ([]table.Row, [][]TID, Stats, error) {
+	t.Helper()
+	var rows []table.Row
+	var provs [][]TID
+	stats, err := Stream(ctx, tables, IdentitySchema(tables), opts, func(row table.Row, prov []TID) error {
+		rows = append(rows, row)
+		provs = append(provs, prov)
+		return nil
+	})
+	return rows, provs, stats, err
+}
+
+// rowKey renders a row for order-insensitive comparison.
+func rowKey(row table.Row) string {
+	s := ""
+	for _, c := range row {
+		if c.IsNull {
+			s += "\x00⊥"
+		} else {
+			s += "\x00" + c.Val
+		}
+	}
+	return s
+}
+
+// TestStreamMatchesBatch: the streamed row multiset and provenance equal
+// FullDisjunction's, up to row order, sequentially and with workers — and
+// the two orders are identical to each other (deterministic assembly).
+func TestStreamMatchesBatch(t *testing.T) {
+	for _, tables := range [][]*table.Table{fig1Tables(), fig1Fuzzy(), chainTables(12)} {
+		schema := IdentitySchema(tables)
+		want, err := FullDisjunction(tables, schema, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantKeys := make(map[string][]TID, len(want.Prov))
+		for i, row := range want.Table.Rows {
+			wantKeys[rowKey(row)] = want.Prov[i]
+		}
+
+		seqRows, seqProvs, stats, err := streamAll(t, context.Background(), tables, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seqRows) != len(want.Table.Rows) {
+			t.Fatalf("stream emitted %d rows, batch has %d", len(seqRows), len(want.Table.Rows))
+		}
+		for i, row := range seqRows {
+			prov, ok := wantKeys[rowKey(row)]
+			if !ok {
+				t.Fatalf("streamed row %d not in batch result: %v", i, row)
+			}
+			if !reflect.DeepEqual(prov, seqProvs[i]) {
+				t.Errorf("row %d provenance differs: stream %v batch %v", i, seqProvs[i], prov)
+			}
+		}
+		if stats.Output != len(seqRows) || stats.Closure == 0 {
+			t.Errorf("stream stats not populated: %+v", stats)
+		}
+
+		if stats.Subsumed != want.Stats.Subsumed {
+			t.Errorf("stream Subsumed=%d, batch %d", stats.Subsumed, want.Stats.Subsumed)
+		}
+
+		parRows, parProvs, _, err := streamAll(t, context.Background(), tables, Options{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(parRows, seqRows) || !reflect.DeepEqual(parProvs, seqProvs) {
+			t.Error("parallel stream order differs from sequential stream order")
+		}
+	}
+}
+
+// TestStreamAllNullRow: a fully-empty input row's all-null tuple is
+// dropped from the stream when other rows exist — the documented
+// divergence from the batch fold — but the row cells and the Subsumed
+// count still match the batch result.
+func TestStreamAllNullRow(t *testing.T) {
+	tables := fig1Tables()
+	tables[0].MustAppendRow(table.Null(), table.Null())
+	schema := IdentitySchema(tables)
+	want, err := FullDisjunction(tables, schema, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _, stats, err := streamAll(t, context.Background(), tables, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != want.Table.NumRows() {
+		t.Fatalf("stream emitted %d rows, batch has %d", len(rows), want.Table.NumRows())
+	}
+	for _, row := range rows {
+		hasValue := false
+		for _, c := range row {
+			hasValue = hasValue || !c.IsNull
+		}
+		if !hasValue {
+			t.Fatal("all-null row leaked into the stream")
+		}
+	}
+	if stats.Subsumed != want.Stats.Subsumed {
+		t.Errorf("stream Subsumed=%d, batch %d", stats.Subsumed, want.Stats.Subsumed)
+	}
+}
+
+// TestStreamEmitsBeforeCompletion: rows of already-closed components are
+// delivered while later components remain unclosed — cancel from inside
+// emit and keep the prefix.
+func TestStreamEmitsBeforeCompletion(t *testing.T) {
+	// Several independent two-tuple components, plus distinct singleton
+	// values per table so identity alignment yields separate components.
+	var tables []*table.Table
+	for i := 0; i < 6; i++ {
+		a := table.New(fmt.Sprintf("A%d", i), "k", fmt.Sprintf("x%d", i))
+		a.MustAppendRow(table.S(fmt.Sprintf("k%d", i)), table.S("l"))
+		b := table.New(fmt.Sprintf("B%d", i), "k", fmt.Sprintf("y%d", i))
+		b.MustAppendRow(table.S(fmt.Sprintf("k%d", i)), table.S("r"))
+		tables = append(tables, a, b)
+	}
+	schema := IdentitySchema(tables)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var got int
+	_, err := Stream(ctx, tables, schema, Options{}, func(row table.Row, prov []TID) error {
+		got++
+		if got == 2 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled after mid-stream cancel, got %v", err)
+	}
+	if got < 2 {
+		t.Fatalf("expected at least 2 rows before cancellation, got %d", got)
+	}
+	full, err := FullDisjunction(tables, schema, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got >= full.Table.NumRows() {
+		t.Fatalf("cancellation emitted all %d rows; wanted a partial prefix", got)
+	}
+}
+
+// TestStreamEmitError: an emit failure aborts the stream and surfaces the
+// error unchanged.
+func TestStreamEmitError(t *testing.T) {
+	tables := fig1Tables()
+	boom := errors.New("sink failed")
+	_, err := Stream(context.Background(), tables, IdentitySchema(tables), Options{}, func(table.Row, []TID) error {
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want sink error, got %v", err)
+	}
+}
+
+// TestStreamProgress: per-component progress events arrive in completion
+// order with a stable total.
+func TestStreamProgress(t *testing.T) {
+	tables := fig1Tables()
+	var events []ComponentProgress
+	opts := Options{Progress: func(p ComponentProgress) { events = append(events, p) }}
+	if _, err := Stream(context.Background(), tables, IdentitySchema(tables), opts, func(table.Row, []TID) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no progress events")
+	}
+	if !sort.SliceIsSorted(events, func(a, b int) bool { return events[a].Done < events[b].Done }) {
+		t.Errorf("progress Done counts not monotonic: %+v", events)
+	}
+	last := events[len(events)-1]
+	if last.Done != last.Total || last.Total != len(events) {
+		t.Errorf("progress did not cover all components: %+v", events)
+	}
+}

@@ -1,6 +1,9 @@
 package match
 
-import "sort"
+import (
+	"context"
+	"sort"
+)
 
 // This file implements the unsupervised threshold selection of the
 // AutoFuzzyJoin line of work (Li, Cheng, Chu, He, Chaudhuri: SIGMOD 2021):
@@ -126,7 +129,7 @@ func (m *Matcher) MatchAutoTuned(cols []Column, tuner *AutoTuner) ([]Cluster, er
 	if tuner.Scorer == nil {
 		return nil, ErrNoEmbedder
 	}
-	return m.match(cols, func(_ int, reps, values []string) float64 {
+	return m.match(context.Background(), cols, func(_ int, reps, values []string) float64 {
 		return tuner.Tune(reps, values)
 	})
 }

@@ -19,6 +19,7 @@
 package match
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -194,8 +195,17 @@ type working struct {
 // Match clusters the values of the aligning columns. Columns are consumed
 // in input order, mirroring the paper's sequential combined-column process.
 func (m *Matcher) Match(cols []Column) ([]Cluster, error) {
+	return m.MatchContext(context.Background(), cols)
+}
+
+// MatchContext is Match under a context: the context is checked before
+// every sequential assignment round (one per column consumed), so a
+// cancellation or deadline stops the matching between rounds and returns
+// the context error unwrapped — callers layer their own cancellation
+// marker on top.
+func (m *Matcher) MatchContext(ctx context.Context, cols []Column) ([]Cluster, error) {
 	theta := m.Opts.theta()
-	return m.match(cols, func(int, []string, []string) float64 { return theta })
+	return m.match(ctx, cols, func(int, []string, []string) float64 { return theta })
 }
 
 // thetaFunc chooses the matching threshold for one sequential round, given
@@ -203,7 +213,7 @@ func (m *Matcher) Match(cols []Column) ([]Cluster, error) {
 // values. Match uses a constant; MatchAutoTuned plugs in the tuner.
 type thetaFunc func(round int, reps, values []string) float64
 
-func (m *Matcher) match(cols []Column, thetaFor thetaFunc) ([]Cluster, error) {
+func (m *Matcher) match(ctx context.Context, cols []Column, thetaFor thetaFunc) ([]Cluster, error) {
 	if m.scorer() == nil {
 		return nil, ErrNoEmbedder
 	}
@@ -236,6 +246,9 @@ func (m *Matcher) match(cols []Column, thetaFor thetaFunc) ([]Cluster, error) {
 	}
 
 	for k := 1; k < len(cols); k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		reps := make([]string, len(clusters))
 		for i, c := range clusters {
 			reps[i] = c.rep

@@ -15,17 +15,25 @@ func WriteJSONL(w io.Writer, t *Table) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	for i, row := range t.Rows {
-		obj := make(map[string]string, len(row))
-		for c, cell := range row {
-			if !cell.IsNull {
-				obj[t.Columns[c]] = cell.Val
-			}
-		}
-		if err := enc.Encode(obj); err != nil {
+		if err := enc.Encode(RowObject(t.Columns, row)); err != nil {
 			return fmt.Errorf("table: write jsonl %q row %d: %w", t.Name, i, err)
 		}
 	}
 	return bw.Flush()
+}
+
+// RowObject returns the JSONL object of one row — column name to value,
+// null cells omitted — the per-row encoding WriteJSONL uses. Streaming
+// writers encode rows one at a time through this, so streamed and batch
+// JSONL output stay byte-identical per row.
+func RowObject(columns []string, row Row) map[string]string {
+	obj := make(map[string]string, len(row))
+	for c, cell := range row {
+		if !cell.IsNull {
+			obj[columns[c]] = cell.Val
+		}
+	}
+	return obj
 }
 
 // ReadJSONL parses a JSON Lines stream into a table. The schema is the
