@@ -57,6 +57,7 @@ func main() {
 		alignC   = flag.Bool("align", false, "align columns by content instead of by name")
 		headers  = flag.Bool("headers", false, "with -align, also use header text")
 		workers  = flag.Int("workers", 1, "parallel FD workers")
+		shards   = flag.Int("shards", 0, "signature shards of the concurrent FD closure (0 = autotune from -workers)")
 		budget   = flag.Int("budget", 0, "abort if the FD closure exceeds this many tuples (0 = unlimited)")
 		session  = flag.Bool("session", false, "integrate incrementally: add one file at a time to a persistent session")
 		stream   = flag.Bool("stream", false, "stream the result to stdout as JSON Lines, one component at a time")
@@ -105,6 +106,9 @@ func main() {
 	}
 	if *workers > 1 {
 		opts = append(opts, fuzzyfd.WithParallelFD(*workers))
+	}
+	if *shards > 0 {
+		opts = append(opts, fuzzyfd.WithFDShards(*shards))
 	}
 	if *budget > 0 {
 		opts = append(opts, fuzzyfd.WithTupleBudget(*budget))

@@ -204,14 +204,36 @@ func WithContentAlignment(useHeaders bool) Option {
 }
 
 // WithParallelFD computes the Full Disjunction with the given number of
-// workers: connected components of the integration graph are closed
-// concurrently (see WithPartitioning).
+// workers. Components of the integration graph small enough that closure
+// is cheaper than scheduling run inline, mid-sized components are closed
+// whole across workers, and a hub component dominating the input — common
+// on data-lake workloads, where one component can hold most of the closure
+// work — is closed with every worker inside it by a work-stealing
+// concurrent engine (sharded signature index, per-worker deques, lock-free
+// candidate generation). Results are byte-identical to the sequential
+// engine for any worker count.
 func WithParallelFD(workers int) Option {
 	return func(o *options) error {
 		if workers < 1 {
 			return fmt.Errorf("fuzzyfd: workers %d < 1", workers)
 		}
 		o.cfg.FD.Workers = workers
+		return nil
+	}
+}
+
+// WithFDShards sets the shard count of the concurrent closure's signature
+// index — the structure workers probe to deduplicate produced tuples. More
+// shards mean less lock contention and more (small) maps; the default,
+// autotuned from the worker count (8 shards per worker, bounded), is right
+// unless profiling shows shard-lock contention on very wide machines.
+// Rounded up to a power of two. Only takes effect with WithParallelFD.
+func WithFDShards(n int) Option {
+	return func(o *options) error {
+		if n < 1 {
+			return fmt.Errorf("fuzzyfd: shards %d < 1", n)
+		}
+		o.cfg.FD.Shards = n
 		return nil
 	}
 }

@@ -86,6 +86,9 @@ func TestOptionErrors(t *testing.T) {
 	if _, err := Integrate(covidTables(), WithParallelFD(0)); err == nil {
 		t.Error("zero workers accepted")
 	}
+	if _, err := Integrate(covidTables(), WithFDShards(0)); err == nil {
+		t.Error("zero shards accepted")
+	}
 	if _, err := Integrate(nil); err == nil {
 		t.Error("empty integration set accepted")
 	}

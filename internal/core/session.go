@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"time"
 
@@ -48,10 +49,23 @@ type Session struct {
 	mu       sync.RWMutex
 	tables   []*table.Table
 	clusters map[clusterDigest][]match.Cluster // aligned-column-set content -> clusters
+	rewrites map[*table.Table]rewriteEntry     // source table -> cached rewritten view
 	idx      *fd.Index
 	last     *Result
 
 	integrations int
+	rewriteHits  int
+}
+
+// rewriteEntry caches one table's rewritten view, keyed by a digest of the
+// rewrite maps that produced it. While a table's maps are unchanged, the
+// cached view — the same pointer every Integrate — is handed to the FD
+// index, whose verification step skips pointer-identical tables; a full
+// cluster-cache hit therefore costs neither a table clone nor a
+// re-projection of history.
+type rewriteEntry struct {
+	key clusterDigest
+	out *table.Table
 }
 
 // NewSession prepares an empty session with the given configuration. The
@@ -63,6 +77,7 @@ func NewSession(cfg Config) *Session {
 		cache:    cache,
 		emb:      embed.Cached(cfg.ResolvedEmbedder(), cache),
 		clusters: make(map[clusterDigest][]match.Cluster),
+		rewrites: make(map[*table.Table]rewriteEntry),
 		idx:      fd.NewIndex(),
 	}
 }
@@ -262,13 +277,9 @@ func (s *Session) matchAndRewrite(ctx context.Context, tables []*table.Table, sc
 		}
 	}
 
-	rewritten := make([]*table.Table, len(tables))
-	for i, t := range tables {
-		rewritten[i] = t.Clone()
-	}
-
 	newClusters := make(map[clusterDigest][]match.Cluster, len(sets))
 	var allStats []match.Stats
+	plans := make([][]colRewrite, len(tables))
 	for _, cs := range sets {
 		key := clusterKey(cs.cols)
 		clusters, ok := s.clusters[key]
@@ -285,14 +296,100 @@ func (s *Session) matchAndRewrite(ctx context.Context, tables []*table.Table, sc
 
 		maps := match.RewriteMaps(clusters, len(cs.refs))
 		for k, rf := range cs.refs {
-			applyRewrite(rewritten[rf.table], rf.col, maps[k])
+			plans[rf.table] = append(plans[rf.table], colRewrite{col: rf.col, m: maps[k]})
 		}
 	}
 	// Replace, not merge: sets no longer present (their contents changed)
 	// must not pin stale clusters forever.
 	s.clusters = newClusters
 	res.MatchStats = combineStats(allStats)
+
+	// Materialize each table's rewritten view, memoized per (table,
+	// rewrite-map fingerprint): while a table's maps are stable the cached
+	// clone — same pointer every call — is reused, so a full cluster-cache
+	// hit no longer clones and re-rewrites the whole accumulated history,
+	// and the FD index's row verification skips the unchanged tables
+	// entirely. A table none of whose values rewrite passes through as the
+	// original.
+	rewritten := make([]*table.Table, len(tables))
+	newRewrites := make(map[*table.Table]rewriteEntry, len(tables))
+	for i, t := range tables {
+		key, live := rewritePlanKey(t, plans[i])
+		if live == 0 {
+			rewritten[i] = t
+			continue
+		}
+		if e, ok := s.rewrites[t]; ok && e.key == key {
+			rewritten[i] = e.out
+			newRewrites[t] = e
+			s.rewriteHits++
+			continue
+		}
+		out := t.Clone()
+		for _, cr := range plans[i] {
+			applyRewrite(out, cr.col, cr.m)
+		}
+		rewritten[i] = out
+		newRewrites[t] = rewriteEntry{key: key, out: out}
+	}
+	// Replace, not merge, for the same reason as the cluster cache.
+	s.rewrites = newRewrites
 	return rewritten, nil
+}
+
+// RewriteCacheHits reports how many table rewrites were served from the
+// session's memoized rewritten views instead of clone-and-rewrite passes —
+// the diagnostic counterpart of EmbeddingCache for the fuzzy match stage.
+func (s *Session) RewriteCacheHits() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rewriteHits
+}
+
+// colRewrite is one column's value-rewrite map within a table's plan.
+type colRewrite struct {
+	col int
+	m   map[string]string
+}
+
+// rewritePlanKey fingerprints the effective rewrites a plan applies to one
+// table — per column, the non-identity value mappings in sorted order,
+// plus the table's row count as a guard — and reports how many such
+// mappings there are (0 means the plan is a no-op for this table).
+func rewritePlanKey(t *table.Table, plan []colRewrite) (clusterDigest, int) {
+	h := sha256.New()
+	var buf [binary.MaxVarintLen64]byte
+	writeInt := func(n int) {
+		h.Write(buf[:binary.PutUvarint(buf[:], uint64(n))])
+	}
+	writeStr := func(v string) {
+		writeInt(len(v))
+		io.WriteString(h, v)
+	}
+	live := 0
+	writeInt(len(t.Rows))
+	for _, cr := range plan {
+		pairs := make([][2]string, 0, len(cr.m))
+		for from, to := range cr.m {
+			if from != to {
+				pairs = append(pairs, [2]string{from, to})
+			}
+		}
+		if len(pairs) == 0 {
+			continue
+		}
+		live += len(pairs)
+		sort.Slice(pairs, func(a, b int) bool { return pairs[a][0] < pairs[b][0] })
+		writeInt(cr.col)
+		writeInt(len(pairs))
+		for _, p := range pairs {
+			writeStr(p[0])
+			writeStr(p[1])
+		}
+	}
+	var out clusterDigest
+	h.Sum(out[:0])
+	return out, live
 }
 
 // clusterDigest fingerprints an aligned column set's exact contents in

@@ -52,6 +52,61 @@ func TestSessionRepeatIntegrateIsNoOpDelta(t *testing.T) {
 	}
 }
 
+// The fuzzy rewrite cache: a repeat Integrate (full cluster-cache hit)
+// serves every rewritten table from the memoized views — same pointers, so
+// the FD index's row verification also short-circuits — instead of cloning
+// and re-rewriting the accumulated history; growing the session keeps the
+// cached views for unchanged tables and the result stays byte-identical to
+// the one-shot pipeline.
+func TestSessionRewriteCache(t *testing.T) {
+	tables := fig1()
+	s := NewSession(Config{})
+	s.Add(tables[0], tables[1])
+	if _, err := s.Integrate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.RewriteCacheHits() != 0 {
+		t.Errorf("first Integrate reported %d rewrite-cache hits", s.RewriteCacheHits())
+	}
+	work1, _, _, err := s.prepare(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits1 := s.RewriteCacheHits()
+	work2, _, _, err := s.prepare(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.RewriteCacheHits() <= hits1 {
+		t.Error("repeat prepare did not hit the rewrite cache")
+	}
+	rewrittenAny := false
+	for i := range work1 {
+		if work1[i] != tables[i] {
+			rewrittenAny = true
+		}
+		if work1[i] != work2[i] {
+			t.Errorf("table %d: cached rewritten view not pointer-stable across calls", i)
+		}
+	}
+	if !rewrittenAny {
+		t.Fatal("fixture produced no rewrites — the cache path is untested")
+	}
+
+	s.Add(tables[2])
+	got, err := s.Integrate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Integrate(tables, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Table.Equal(want.Table) || !reflect.DeepEqual(got.Prov, want.Prov) {
+		t.Error("session with rewrite cache differs from one-shot pipeline")
+	}
+}
+
 // Cluster cache keys must be injective on column contents: sets that
 // differ only in value boundaries (concatenation ambiguity) or counts must
 // not collide.

@@ -53,9 +53,11 @@ var cancelVariants = []struct {
 	opts Options
 }{
 	{"partitioned", Options{}},
-	{"partitioned-par4", Options{Workers: 4}},
+	{"partitioned-steal4", Options{Workers: 4}},
+	{"partitioned-round4", Options{Workers: 4, RoundParallel: true}},
 	{"flat", Options{NoPartition: true}},
-	{"flat-par4", Options{NoPartition: true, Workers: 4}},
+	{"flat-steal4", Options{NoPartition: true, Workers: 4}},
+	{"flat-round4", Options{NoPartition: true, Workers: 4, RoundParallel: true}},
 }
 
 // TestFullDisjunctionContextPreCanceled: a context dead on arrival fails
@@ -149,34 +151,118 @@ func TestFullDisjunctionContextBackgroundIdentical(t *testing.T) {
 // TestUpdateContextCanceledThenRecovers: a canceled incremental Update
 // returns ErrCanceled, and the next Update with a live context rebuilds
 // and matches the batch result — cancellation must not leave stale
-// component caches behind.
+// component caches behind. Exercised for every closure engine: the
+// sequential worklist, the work-stealing engine, and the round-based
+// ablation all interrupt mid-closure and must leave the Index recoverable.
 func TestUpdateContextCanceledThenRecovers(t *testing.T) {
 	tables := chainTables(40)
 	schema := IdentitySchema(tables)
 
-	x := NewIndex()
-	seed := tables[:20]
-	if _, err := x.Update(seed, Schema{Columns: schema.Columns[:21], Mapping: schema.Mapping[:20]}, Options{}); err != nil {
-		t.Fatal(err)
-	}
+	for _, v := range []struct {
+		name string
+		opts Options
+	}{
+		{"seq", Options{}},
+		{"steal4", Options{Workers: 4}},
+		{"round4", Options{Workers: 4, RoundParallel: true}},
+	} {
+		t.Run(v.name, func(t *testing.T) {
+			x := NewIndex()
+			seed := tables[:20]
+			if _, err := x.Update(seed, Schema{Columns: schema.Columns[:21], Mapping: schema.Mapping[:20]}, v.opts); err != nil {
+				t.Fatal(err)
+			}
 
-	ctx := newFlipCtx(3)
-	if _, err := x.UpdateContext(ctx, tables, schema, Options{}); !errors.Is(err, ErrCanceled) {
-		t.Fatalf("want ErrCanceled, got %v", err)
-	}
+			ctx := newFlipCtx(3)
+			if _, err := x.UpdateContext(ctx, tables, schema, v.opts); !errors.Is(err, ErrCanceled) {
+				t.Fatalf("want ErrCanceled, got %v", err)
+			}
 
-	got, err := x.Update(tables, schema, Options{})
+			got, err := x.Update(tables, schema, v.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := FullDisjunction(tables, schema, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Table, want.Table) || !reflect.DeepEqual(got.Prov, want.Prov) {
+				t.Error("post-cancellation Update differs from batch FullDisjunction")
+			}
+			if x.Rebuilds() == 0 {
+				t.Error("canceled Update should have dropped the tuple store")
+			}
+		})
+	}
+}
+
+// TestBudgetDeterministicAcrossWorkers: whether ErrTupleBudget fires
+// depends only on the closure's final size, never on the schedule — a
+// budget exactly at the closure size passes and one below it aborts, for
+// every engine and worker count. (Only distinct produced tuples reserve
+// budget; duplicate productions race-free dedup at the signature index, so
+// the reserved total is schedule-independent.)
+func TestBudgetDeterministicAcrossWorkers(t *testing.T) {
+	tables := chainTables(30)
+	schema := IdentitySchema(tables)
+	ref, err := FullDisjunction(tables, schema, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
+	limit := ref.Stats.Closure
+	for _, workers := range []int{1, 2, 8} {
+		for _, round := range []bool{false, true} {
+			opts := Options{Workers: workers, RoundParallel: round}
+			for trial := 0; trial < 2; trial++ {
+				opts.MaxTuples = limit
+				if _, err := FullDisjunction(tables, schema, opts); err != nil {
+					t.Fatalf("workers=%d round=%v: budget at the limit failed: %v", workers, round, err)
+				}
+				opts.MaxTuples = limit - 1
+				if _, err := FullDisjunction(tables, schema, opts); !errors.Is(err, ErrTupleBudget) {
+					t.Fatalf("workers=%d round=%v: budget below the limit returned %v", workers, round, err)
+				}
+			}
+		}
+	}
+}
+
+// TestIndexBudgetAbortRecoversAcrossWorkers: a budget-aborted concurrent
+// Update must leave the Index recoverable — the retry without a budget is
+// byte-identical to the batch result for every engine.
+func TestIndexBudgetAbortRecoversAcrossWorkers(t *testing.T) {
+	tables := chainTables(40)
+	schema := IdentitySchema(tables)
 	want, err := FullDisjunction(tables, schema, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(got.Table, want.Table) || !reflect.DeepEqual(got.Prov, want.Prov) {
-		t.Error("post-cancellation Update differs from batch FullDisjunction")
-	}
-	if x.Rebuilds() == 0 {
-		t.Error("canceled Update should have dropped the tuple store")
+	for _, v := range []struct {
+		name string
+		opts Options
+	}{
+		{"steal4", Options{Workers: 4}},
+		{"steal8", Options{Workers: 8}},
+		{"round4", Options{Workers: 4, RoundParallel: true}},
+	} {
+		t.Run(v.name, func(t *testing.T) {
+			x := NewIndex()
+			seed := tables[:20]
+			if _, err := x.Update(seed, Schema{Columns: schema.Columns[:21], Mapping: schema.Mapping[:20]}, v.opts); err != nil {
+				t.Fatal(err)
+			}
+			opts := v.opts
+			opts.MaxTuples = want.Stats.Closure - 1
+			if _, err := x.Update(tables, schema, opts); !errors.Is(err, ErrTupleBudget) {
+				t.Fatalf("want ErrTupleBudget, got %v", err)
+			}
+			got, err := x.Update(tables, schema, v.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Table, want.Table) || !reflect.DeepEqual(got.Prov, want.Prov) {
+				t.Error("post-abort retry differs from batch FullDisjunction")
+			}
+		})
 	}
 }

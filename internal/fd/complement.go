@@ -147,16 +147,31 @@ func newComponentClosure(eng *engine, comp []Tuple, bud *budget) *closure {
 // until fixpoint. The context is polled every cancelEvery candidate
 // expansions, so cancellation interrupts even one giant component.
 func (c *closure) run(ctx context.Context, stats *Stats) error {
+	return c.runFrom(ctx, nil, stats)
+}
+
+// runFrom is run with a seeded worklist: only the listed store IDs (and
+// tuples produced from them, transitively) are expanded. Pairs among the
+// unlisted tuples are assumed already closed — the incremental index seeds
+// a dirty component's store with its previous closure and lists only the
+// tuples that arrived or changed since. A nil worklist expands everything.
+func (c *closure) runFrom(ctx context.Context, work []int, stats *Stats) error {
 	if len(c.tuples) > 0 && c.bud.exceeded() {
 		return ErrTupleBudget
 	}
-	queue := make([]int, len(c.tuples))
-	for i := range queue {
-		queue[i] = i
+	var queue []int
+	if work == nil {
+		queue = make([]int, len(c.tuples))
+		for i := range queue {
+			queue[i] = i
+		}
+	} else {
+		queue = append(make([]int, 0, len(work)), work...)
 	}
 	var scratch stampSet
 	var stopErr error
 	chk := cancelCheck{ctx: ctx}
+	mbuf := make([]uint32, 0, c.eng.nCols)
 
 	for len(queue) > 0 && stopErr == nil {
 		i := queue[len(queue)-1]
@@ -172,19 +187,22 @@ func (c *closure) run(ctx context.Context, stats *Stats) error {
 				return
 			}
 			stats.MergeAttempts++
-			merged, ok := tryMerge(c.tuples[i].Cells, c.tuples[j].Cells)
+			merged, ok := tryMergeInto(mbuf, c.tuples[i].Cells, c.tuples[j].Cells)
 			if !ok {
 				return
 			}
+			mbuf = merged
 			at, hash, exists := c.sigs.find(merged, c.tuples)
 			if exists {
-				c.tuples[at].Prov = mergeProv(c.tuples[at].Prov, mergeProv(c.tuples[i].Prov, c.tuples[j].Prov))
+				if p := c.tuples[at].Prov; !provContains(p, c.tuples[i].Prov) || !provContains(p, c.tuples[j].Prov) {
+					c.tuples[at].Prov = mergeProv(p, mergeProv(c.tuples[i].Prov, c.tuples[j].Prov))
+				}
 				return
 			}
 			stats.Merges++
 			id := len(c.tuples)
 			c.sigs.addHashed(hash, id)
-			c.tuples = append(c.tuples, Tuple{Cells: merged, Prov: mergeProv(c.tuples[i].Prov, c.tuples[j].Prov)})
+			c.tuples = append(c.tuples, Tuple{Cells: cloneCells(merged), Prov: mergeProv(c.tuples[i].Prov, c.tuples[j].Prov)})
 			newIDs = append(newIDs, id)
 			stopErr = c.bud.add(1)
 		})
@@ -197,22 +215,28 @@ func (c *closure) run(ctx context.Context, stats *Stats) error {
 }
 
 // runParallel is the round-based parallel closure (after Paganelli et al.),
-// used when the input forms a single connected component that cannot be
-// split across workers: each round, a frontier of unprocessed tuples is
+// kept as the Options.RoundParallel ablation of the work-stealing engine
+// in concurrent.go: each round, a frontier of unprocessed tuples is
 // partitioned across workers that read a shared snapshot of the store and
 // emit merge proposals; the coordinator then applies proposals in
 // deterministic (value) order and builds the next frontier. The final
-// closure is identical to run's. Each worker polls the context every
-// cancelEvery expansions and the coordinator checks it per round; on
-// cancellation the partial round is discarded and an ErrCanceled-marked
-// error returned.
-func (c *closure) runParallel(ctx context.Context, workers int, stats *Stats) error {
+// closure is identical to run's. A non-nil work slice seeds the first
+// frontier (the incremental re-closure path); nil starts from the whole
+// store. Each worker polls the context every cancelEvery expansions and
+// the coordinator checks it per round; on cancellation the partial round
+// is discarded and an ErrCanceled-marked error returned.
+func (c *closure) runParallel(ctx context.Context, workers int, work []int, stats *Stats) error {
 	if len(c.tuples) > 0 && c.bud.exceeded() {
 		return ErrTupleBudget
 	}
-	frontier := make([]int, len(c.tuples))
-	for i := range frontier {
-		frontier[i] = i
+	var frontier []int
+	if work == nil {
+		frontier = make([]int, len(c.tuples))
+		for i := range frontier {
+			frontier[i] = i
+		}
+	} else {
+		frontier = append(make([]int, 0, len(work)), work...)
 	}
 
 	type proposal struct {
@@ -239,6 +263,7 @@ func (c *closure) runParallel(ctx context.Context, workers int, stats *Stats) er
 				var out []proposal
 				chk := cancelCheck{ctx: ctx, left: cancelEvery}
 				canceled := false
+				mbuf := make([]uint32, 0, c.eng.nCols)
 				for fi := wi; fi < len(frontier) && !canceled; fi += w {
 					i := frontier[fi]
 					scratch.next(len(c.tuples))
@@ -248,12 +273,13 @@ func (c *closure) runParallel(ctx context.Context, workers int, stats *Stats) er
 							return
 						}
 						attempts[wi]++
-						merged, ok := tryMerge(c.tuples[i].Cells, c.tuples[j].Cells)
+						merged, ok := tryMergeInto(mbuf, c.tuples[i].Cells, c.tuples[j].Cells)
 						if !ok {
 							return
 						}
+						mbuf = merged
 						out = append(out, proposal{
-							cells: merged,
+							cells: cloneCells(merged),
 							prov:  mergeProv(c.tuples[i].Prov, c.tuples[j].Prov),
 						})
 					})
@@ -278,7 +304,9 @@ func (c *closure) runParallel(ctx context.Context, workers int, stats *Stats) er
 		for _, p := range all {
 			at, hash, exists := c.sigs.find(p.cells, c.tuples)
 			if exists {
-				c.tuples[at].Prov = mergeProv(c.tuples[at].Prov, p.prov)
+				if !provContains(c.tuples[at].Prov, p.prov) {
+					c.tuples[at].Prov = mergeProv(c.tuples[at].Prov, p.prov)
+				}
 				continue
 			}
 			stats.Merges++

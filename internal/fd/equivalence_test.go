@@ -37,7 +37,7 @@ func truncated(tables []*table.Table, nBatches, k int) []*table.Table {
 func TestIndexIncrementalMatchesBatch(t *testing.T) {
 	tables := datagen.IMDB(datagen.IMDBConfig{Seed: 42, TotalTuples: 1200})
 	const nBatches = 4
-	for _, opts := range []fd.Options{{}, {Workers: 4}} {
+	for _, opts := range []fd.Options{{}, {Workers: 4}, {Workers: 4, RoundParallel: true}} {
 		x := fd.NewIndex()
 		for k := 1; k <= nBatches; k++ {
 			view := truncated(tables, nBatches, k)
@@ -96,7 +96,7 @@ func TestEnginesAgreeOnDatagenSets(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s seed %d flat: %v", g.name, seed, err)
 			}
-			for _, opts := range []fd.Options{{}, {Workers: 4}} {
+			for _, opts := range []fd.Options{{}, {Workers: 4}, {Workers: 8, Shards: 8}, {Workers: 4, RoundParallel: true}} {
 				got, err := fd.FullDisjunction(tables, schema, opts)
 				if err != nil {
 					t.Fatalf("%s seed %d opts %+v: %v", g.name, seed, opts, err)

@@ -1,0 +1,30 @@
+package fd
+
+import "fuzzyfd/internal/table"
+
+// Test-only exports. datagen imports fd, so benchmarks that combine the
+// two live in package fd_test and reach the engine internals they need
+// through these hooks.
+
+// HubMinTuples re-exports the intra-component parallelism threshold for
+// fixture-size assertions.
+const HubMinTuples = hubMinTuples
+
+// ExtractLargestComponent materializes the largest connected component of
+// the integration set as a standalone table — the hub-closure benchmark
+// fixture.
+func ExtractLargestComponent(tables []*table.Table, schema Schema) *table.Table {
+	eng, base, _ := outerUnion(tables, schema)
+	comps := eng.partition(base)
+	var hub []Tuple
+	for _, c := range comps {
+		if len(c) > len(hub) {
+			hub = c
+		}
+	}
+	out := table.New("hub", schema.Columns...)
+	for _, tp := range hub {
+		out.Rows = append(out.Rows, eng.decodeRow(tp.Cells))
+	}
+	return out
+}

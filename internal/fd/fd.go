@@ -22,9 +22,12 @@
 //     lists). No complementation merge and no subsumption (bar the all-null
 //     tuple, handled globally) crosses a component boundary, so each
 //     component is closed and subsumption-reduced independently. With
-//     Options.Workers > 1 whole components are scheduled across workers;
-//     a single-component input falls back to round-based parallel closure
-//     (Paganelli et al. 2019 style) inside the component.
+//     Options.Workers > 1, components are scheduled by size: tiny ones
+//     close inline, mid-sized ones are scheduled whole across workers, and
+//     a hub component dominating the input (or a single-component input)
+//     is closed with every worker inside it by the work-stealing concurrent
+//     engine (concurrent.go); Options.RoundParallel swaps in the
+//     round-based closure (Paganelli et al. 2019 style) as an ablation.
 //
 // Tuples carry provenance (the set of input tuple IDs they integrate), so
 // downstream tasks such as entity matching can trace every output row back
@@ -171,11 +174,20 @@ func (s Schema) Validate(tables []*table.Table) error {
 
 // Options tunes the Full Disjunction computation.
 type Options struct {
-	// Workers > 1 closes connected components concurrently (whole
-	// components are scheduled across workers; a single-component input
-	// uses round-based parallel complementation inside the component).
-	// 0 or 1 runs sequentially.
+	// Workers > 1 closes connected components concurrently: components
+	// below a size threshold run inline, mid-sized ones are scheduled
+	// whole across workers, and a hub component that dominates the input
+	// (or a single-component input) is closed with all workers inside it
+	// by the work-stealing engine (concurrent.go). 0 or 1 runs
+	// sequentially.
 	Workers int
+	// Shards sets the signature-index shard count of the work-stealing
+	// closure (rounded up to a power of two). 0 autotunes from Workers.
+	Shards int
+	// RoundParallel replaces the work-stealing intra-component engine with
+	// the round-based parallel closure (Paganelli et al. 2019 style) — the
+	// ablation baseline. Results are identical; only the schedule differs.
+	RoundParallel bool
 	// MaxTuples aborts the computation if the closure exceeds this many
 	// tuples (a safety valve against pathological join blowup). 0 means
 	// unlimited.
@@ -232,21 +244,35 @@ func Canceled(err error) error {
 // actually performed — the gap between ReclosedTuples and Closure is the
 // work the session amortized away.
 type Stats struct {
-	InputTuples     int
-	OuterUnion      int // tuples after outer union + dedup
-	Values          int // distinct non-null cell values in the dictionary
-	ReusedValues    int // distinct new-row values already interned by earlier runs (0 for one-shot)
-	Components      int // connected components of the outer union (0 with NoPartition)
-	DirtyComponents int // components (re)closed this run (= Components for one-shot partitioned runs)
-	LargestComp     int // outer-union tuples in the largest component
-	LargestClose    int // closure tuples of the largest component (0 with NoPartition)
-	Merges          int // successful complementation merges this run
-	MergeAttempts   int // candidate pairs tested this run
-	Closure         int // tuples after complementation closure
-	ReclosedTuples  int // closure tuples of the components (re)closed this run (= Closure for one-shot partitioned runs)
-	Subsumed        int // tuples removed by subsumption
-	Output          int
-	Elapsed         time.Duration
+	InputTuples      int
+	OuterUnion       int // tuples after outer union + dedup
+	Values           int // distinct non-null cell values in the dictionary
+	ReusedValues     int // distinct new-row values already interned by earlier runs (0 for one-shot)
+	Components       int // connected components of the outer union (0 with NoPartition)
+	DirtyComponents  int // components (re)closed this run (= Components for one-shot partitioned runs)
+	LargestComp      int // outer-union tuples in the largest component
+	LargestClose     int // closure tuples of the largest component (0 with NoPartition)
+	Merges           int // successful complementation merges this run
+	MergeAttempts    int // candidate pairs tested this run (schedule-dependent under Workers > 1)
+	Closure          int // tuples after complementation closure
+	ReclosedTuples   int // closure tuples of the components (re)closed this run (= Closure for one-shot partitioned runs)
+	SeedReusedTuples int // closure tuples seeded from previous runs instead of re-derived (incremental re-closure)
+	StolenBatches    int // work-stealing engine: deque batches stolen by idle workers
+	Shards           int // signature shards of the work-stealing engine (0 when it did not run)
+	Subsumed         int // tuples removed by subsumption
+	Output           int
+	Elapsed          time.Duration
+}
+
+// mergeWork folds another run's work counters into s — the per-component
+// counters the closure engines report back through the assembler.
+func (s *Stats) mergeWork(r Stats) {
+	s.Merges += r.Merges
+	s.MergeAttempts += r.MergeAttempts
+	s.StolenBatches += r.StolenBatches
+	if r.Shards > s.Shards {
+		s.Shards = r.Shards
+	}
 }
 
 // Result is an integrated table plus per-row provenance and statistics.
@@ -288,18 +314,30 @@ func FullDisjunctionContext(ctx context.Context, tables []*table.Table, schema S
 
 	var kept []Tuple
 	if opts.NoPartition {
-		cl := newClosure(eng, tuples, sigs, bud)
-		var err error
-		if opts.Workers > 1 {
-			err = cl.runParallel(ctx, opts.Workers, &stats)
-		} else {
-			err = cl.run(ctx, &stats)
+		var closed []Tuple
+		var closedIdx *postingIndex
+		switch {
+		case opts.Workers > 1 && !opts.RoundParallel:
+			var err error
+			closed, err = closeConcurrent(ctx, eng, tuples, nil, opts.Workers, resolveShards(opts), bud, &stats)
+			if err != nil {
+				return nil, err
+			}
+		case opts.Workers > 1:
+			cl := newClosure(eng, tuples, sigs, bud)
+			if err := cl.runParallel(ctx, opts.Workers, nil, &stats); err != nil {
+				return nil, err
+			}
+			closed, closedIdx = cl.tuples, cl.idx
+		default:
+			cl := newClosure(eng, tuples, sigs, bud)
+			if err := cl.run(ctx, &stats); err != nil {
+				return nil, err
+			}
+			closed, closedIdx = cl.tuples, cl.idx
 		}
-		if err != nil {
-			return nil, err
-		}
-		stats.Closure = len(cl.tuples)
-		kept = eng.subsume(cl.tuples)
+		stats.Closure = len(closed)
+		kept = eng.subsumeIndexed(closed, closedIdx)
 		if opts.Progress != nil {
 			opts.Progress(ComponentProgress{Done: 1, Total: 1, Members: stats.OuterUnion, Closure: stats.Closure})
 		}
@@ -377,11 +415,42 @@ func tidLess(a, b TID) bool {
 	return a.Row < b.Row
 }
 
+// provContains reports whether the sorted TID set super includes every TID
+// of sub — the allocation-free fast path for duplicate-production folds,
+// which in steady state (and especially during incremental re-closure)
+// almost always carry provenance the target already has.
+func provContains(super, sub []TID) bool {
+	if len(sub) > len(super) {
+		return false
+	}
+	i := 0
+	for _, t := range sub {
+		for i < len(super) && tidLess(super[i], t) {
+			i++
+		}
+		if i >= len(super) || super[i] != t {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
 // tryMerge merges two tuples if they are consistent (no attribute holds two
 // different non-null values) and connected (at least one attribute is
 // non-null and equal in both). Returns the merged cells and true on
 // success.
 func tryMerge(a, b []uint32) ([]uint32, bool) {
+	// nil buffer: tryMergeInto only writes after the consistency check
+	// passes, so failed attempts allocate nothing.
+	return tryMergeInto(nil, a, b)
+}
+
+// tryMergeInto is tryMerge writing into buf (grown as needed): the closure
+// engines reuse one buffer per worker, so the dominant duplicate
+// productions — merges whose result already exists in the store — allocate
+// nothing. The result aliases buf; clone it before storing.
+func tryMergeInto(buf, a, b []uint32) ([]uint32, bool) {
 	connected := false
 	for i := range a {
 		if a[i] == intern.Null || b[i] == intern.Null {
@@ -395,15 +464,22 @@ func tryMerge(a, b []uint32) ([]uint32, bool) {
 	if !connected {
 		return nil, false
 	}
-	out := make([]uint32, len(a))
+	buf = buf[:0]
 	for i := range a {
 		if a[i] == intern.Null {
-			out[i] = b[i]
+			buf = append(buf, b[i])
 		} else {
-			out[i] = a[i]
+			buf = append(buf, a[i])
 		}
 	}
-	return out, true
+	return buf, true
+}
+
+// cloneCells copies a merge buffer into a fresh slice for storage.
+func cloneCells(cells []uint32) []uint32 {
+	out := make([]uint32, len(cells))
+	copy(out, cells)
+	return out
 }
 
 // subsumes reports whether u strictly subsumes t: every non-null cell of t

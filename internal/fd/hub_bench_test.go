@@ -1,0 +1,160 @@
+package fd_test
+
+import (
+	"encoding/json"
+	"os"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"fuzzyfd/internal/datagen"
+	"fuzzyfd/internal/fd"
+	"fuzzyfd/internal/table"
+)
+
+// The hub benchmark isolates the closure cost center of data-lake inputs:
+// the single dominant connected component. IMDB-shaped inputs put ~70% of
+// closure work into one hub component, so component-granularity scheduling
+// leaves workers idle exactly when it matters; this fixture extracts that
+// hub as a standalone single-component integration set and races the three
+// closure engines inside it (sequential worklist, round-based parallel,
+// work-stealing concurrent).
+
+// hubTables extracts the largest connected component of an IMDB-shaped
+// workload with total input tuples, materialized as a one-table
+// integration set whose Full Disjunction is exactly the hub's closure.
+func hubTables(total int) []*table.Table {
+	tables := datagen.IMDB(datagen.IMDBConfig{Seed: 42, TotalTuples: total})
+	return []*table.Table{fd.ExtractLargestComponent(tables, fd.IdentitySchema(tables))}
+}
+
+// hubEngines are the engine variants the hub benchmark and BENCH_fd.json
+// sweep: the sequential baseline, the round-based ablation, and the
+// work-stealing engine across worker counts.
+var hubEngines = []struct {
+	name string
+	opts fd.Options
+}{
+	{"seq", fd.Options{}},
+	{"round-par8", fd.Options{Workers: 8, RoundParallel: true}},
+	{"steal-par2", fd.Options{Workers: 2}},
+	{"steal-par4", fd.Options{Workers: 4}},
+	{"steal-par8", fd.Options{Workers: 8}},
+}
+
+func BenchmarkClosureHub(b *testing.B) {
+	tables := hubTables(8000)
+	schema := fd.IdentitySchema(tables)
+	for _, eng := range hubEngines {
+		b.Run(eng.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := fd.FullDisjunction(tables, schema, eng.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Stats.Components != 1 {
+					b.Fatalf("hub fixture split into %d components", res.Stats.Components)
+				}
+			}
+		})
+	}
+	// A missing trajectory file would make CI's regression gate compare the
+	// checked-in baseline against itself, so failing to write is an error,
+	// not a log line.
+	if err := writeHubBenchJSON("../../BENCH_fd.json", tables, schema); err != nil {
+		b.Errorf("BENCH_fd.json not written: %v", err)
+	}
+}
+
+// hubBenchEngine is one engine's instrumented measurement.
+type hubBenchEngine struct {
+	Name    string  `json:"name"`
+	Workers int     `json:"workers"`
+	MS      float64 `json:"ms"`
+}
+
+// hubBenchReport is the BENCH_fd.json schema. The CI regression gate
+// compares Steal8VsRound against the checked-in baseline — a ratio, so the
+// gate transfers across machines of different absolute speed.
+type hubBenchReport struct {
+	Benchmark     string           `json:"benchmark"`
+	GoMaxProcs    int              `json:"gomaxprocs"`
+	TotalTuples   int              `json:"total_tuples"`
+	HubMembers    int              `json:"hub_members"`
+	HubClosure    int              `json:"hub_closure"`
+	Engines       []hubBenchEngine `json:"engines"`
+	Steal8VsSeq   float64          `json:"steal8_vs_seq_speedup"`
+	Steal8VsRound float64          `json:"steal8_vs_round8_speedup"`
+}
+
+// writeHubBenchJSON runs one instrumented pass per engine over the hub
+// fixture and records wall clock plus the derived speedups.
+func writeHubBenchJSON(path string, tables []*table.Table, schema fd.Schema) error {
+	report := hubBenchReport{
+		Benchmark:   "closure_hub",
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		TotalTuples: 8000,
+		HubMembers:  len(tables[0].Rows),
+	}
+	times := make(map[string]float64, len(hubEngines))
+	for _, eng := range hubEngines {
+		start := time.Now()
+		res, err := fd.FullDisjunction(tables, schema, eng.opts)
+		if err != nil {
+			return err
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		times[eng.name] = ms
+		report.HubClosure = res.Stats.Closure
+		workers := eng.opts.Workers
+		if workers < 1 {
+			workers = 1
+		}
+		report.Engines = append(report.Engines, hubBenchEngine{Name: eng.name, Workers: workers, MS: ms})
+	}
+	if t := times["steal-par8"]; t > 0 {
+		report.Steal8VsSeq = times["seq"] / t
+		report.Steal8VsRound = times["round-par8"] / t
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// TestHubFixtureSingleComponent pins the benchmark's premise: the
+// extracted hub really is one connected component, large enough that
+// intra-component parallelism (not component scheduling) is what's being
+// measured, and every engine closes it byte-identically.
+func TestHubFixtureSingleComponent(t *testing.T) {
+	tables := hubTables(3000)
+	schema := fd.IdentitySchema(tables)
+	res, err := fd.FullDisjunction(tables, schema, fd.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Components != 1 {
+		t.Fatalf("hub fixture has %d components, want 1", res.Stats.Components)
+	}
+	if res.Stats.OuterUnion < fd.HubMinTuples {
+		t.Fatalf("hub fixture too small to engage intra-component parallelism: %d tuples", res.Stats.OuterUnion)
+	}
+	for _, eng := range hubEngines {
+		if eng.opts.Workers == 0 {
+			continue
+		}
+		par, err := fd.FullDisjunction(tables, schema, eng.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !par.Table.Equal(res.Table) || !reflect.DeepEqual(par.Prov, res.Prov) {
+			t.Fatalf("%s: hub closure differs from sequential", eng.name)
+		}
+		if !eng.opts.RoundParallel && par.Stats.Shards == 0 {
+			t.Errorf("%s: work-stealing engine did not engage on the hub", eng.name)
+		}
+	}
+}

@@ -60,6 +60,32 @@ type cachedComp struct {
 	members []int   // base tuple ids, ascending
 	kept    []Tuple // closure + subsumption result
 	closure int     // closure size, for stats and budget accounting
+	// store holds the component's full closure store from the last run,
+	// provenance enriched by every fold the closure performed (including
+	// folds into base tuples whose cells subsume each other). When the
+	// component goes dirty, the store seeds the re-closure so only pairs
+	// involving a new or changed tuple are expanded, instead of re-deriving
+	// the whole closure from base tuples. (Provenance may carry subsumption
+	// folds from the previous run; that is harmless — a fold only ever adds
+	// provenance of tuples the carrier subsumes, which the re-closure's
+	// provenance fixpoint contains anyway.)
+	store []Tuple
+	// basePos maps members[k] to its position in store (new base tuples
+	// append behind the previous store, and a new base whose cells
+	// duplicate a derived tuple folds into it, so positions are not a
+	// prefix in general).
+	basePos []int
+	// sigs and post are the signature and posting indexes covering store,
+	// kept from the sequential closure that produced it. A dirty re-closure
+	// extends them in place — appending only the delta — instead of
+	// re-indexing the whole store. They are nil (forcing an index rebuild
+	// on the next re-closure) after schema widening, a closure by the
+	// work-stealing engine, or a component merge.
+	sigs *sigIndex
+	post *postingIndex
+	// sub caches each store entry's canonical subsumer position (-1 =
+	// kept); re-subsumption then scans only the store's growth.
+	sub []int32
 }
 
 // NewIndex returns an empty index. The schema is fixed by the first
@@ -228,6 +254,12 @@ func (x *Index) widen(nCols int) {
 		for k := range c.kept {
 			c.kept[k].Cells = widenCells(c.kept[k].Cells)
 		}
+		for k := range c.store {
+			c.store[k].Cells = widenCells(c.store[k].Cells)
+		}
+		// Cell hashes cover the full width and the next slow-path seeding
+		// relays the store, so the cached closure indexes go stale.
+		c.sigs, c.post = nil, nil
 	}
 	for len(x.post.byCol) < nCols {
 		x.post.byCol = append(x.post.byCol, make(map[uint32][]int))
@@ -348,11 +380,158 @@ func (x *Index) ingest(tables []*table.Table, schema Schema, stats *Stats) []boo
 	return touched
 }
 
+// seedDirty builds the re-closure job for one dirty component group: the
+// seed store holding every tuple already known for the group (current base
+// tuples plus the cached closures of the previous components it absorbed)
+// and the worklist of seeds whose pairs are unexamined — the touched ones.
+// When the group extends exactly one cached component whose closure
+// indexes survived, the fast path reuses store, signature index, and
+// posting index in place, appending only the delta; otherwise the slow
+// path relays the store (bases first) and rebuilds the signature index.
+// Returns the job and the store position of each member.
+func (x *Index) seedDirty(members []int, ownerOf []*cachedComp, touched []bool) (closeJob, []int) {
+	var owner *cachedComp
+	single := true
+	for _, id := range members {
+		if c := ownerOf[id]; c != nil && c.store != nil {
+			if owner == nil {
+				owner = c
+			} else if owner != c {
+				single = false
+				break
+			}
+		}
+	}
+	if single && owner != nil && owner.sigs != nil && owner.post != nil {
+		return x.seedFast(members, owner, touched)
+	}
+	return x.seedSlow(members, ownerOf, touched)
+}
+
+// seedFast extends one cached component in place: new base tuples append
+// behind the previous store (or fold into a derived tuple with identical
+// cells), dedup-grown provenance folds into the existing entries, and the
+// cached signature and posting indexes are extended rather than rebuilt.
+func (x *Index) seedFast(members []int, owner *cachedComp, touched []bool) (closeJob, []int) {
+	tuples := owner.store
+	sigs, post := owner.sigs, owner.post
+	subSeed, subN := owner.sub, 0
+	if subSeed != nil {
+		subN = len(tuples) // everything appended from here on rescans fully
+	}
+	oldPos := make(map[int]int, len(owner.members))
+	for k, id := range owner.members {
+		oldPos[id] = owner.basePos[k]
+	}
+	basePos := make([]int, len(members))
+	var work []int
+	for k, id := range members {
+		if p, ok := oldPos[id]; ok {
+			basePos[k] = p
+			if touched[id] {
+				if !provContains(tuples[p].Prov, x.base[id].Prov) {
+					tuples[p].Prov = mergeProv(tuples[p].Prov, x.base[id].Prov)
+				}
+				work = append(work, p)
+			}
+			continue
+		}
+		bt := x.base[id]
+		if at, hash, ok := sigs.find(bt.Cells, tuples); ok {
+			// The new base duplicates a previously derived tuple; fold and
+			// re-expand it so the merged provenance propagates.
+			if !provContains(tuples[at].Prov, bt.Prov) {
+				tuples[at].Prov = mergeProv(tuples[at].Prov, bt.Prov)
+			}
+			basePos[k] = at
+			work = append(work, at)
+		} else {
+			p := len(tuples)
+			tuples = append(tuples, bt)
+			sigs.addHashed(hash, p)
+			post.add(p, bt.Cells)
+			basePos[k] = p
+			work = append(work, p)
+		}
+	}
+	owner.store, owner.sigs, owner.post, owner.sub = nil, nil, nil, nil // consumed
+	return closeJob{
+		tuples: tuples, base: len(members), work: work, owned: true,
+		sigs: sigs, post: post, subSeed: subSeed, subN: subN,
+	}, basePos
+}
+
+// seedSlow relays a dirty group's seed store from scratch — current base
+// tuples first, then the cached derived tuples of every previous component
+// the group absorbed — rebuilding the signature index over the new layout.
+// This is the path for merged components and for caches whose indexes were
+// invalidated (schema widening, work-stealing closure).
+func (x *Index) seedSlow(members []int, ownerOf []*cachedComp, touched []bool) (closeJob, []int) {
+	seed := make([]Tuple, len(members))
+	pos := make(map[int]int, len(members))
+	basePos := make([]int, len(members))
+	var work []int
+	for k, id := range members {
+		seed[k] = x.base[id]
+		pos[id] = k
+		basePos[k] = k
+		if touched[id] {
+			work = append(work, k)
+		}
+	}
+	sigs := newSigIndex()
+	for i := range seed {
+		sigs.add(seed[i].Cells, i)
+	}
+	for _, id := range members {
+		c := ownerOf[id]
+		if c == nil || c.store == nil {
+			continue
+		}
+		// Fold the cached store: base entries enrich their current seeds
+		// (they carry the folds of every pair the previous closure already
+		// examined), derived entries append, deduplicating against the
+		// seed — a new base tuple can duplicate a previously derived one,
+		// and the store must stay a set for budget accounting to be exact.
+		isBase := make([]bool, len(c.store))
+		for k, oid := range c.members {
+			p := c.basePos[k]
+			isBase[p] = true
+			at := pos[oid]
+			if !provContains(seed[at].Prov, c.store[p].Prov) {
+				seed[at].Prov = mergeProv(seed[at].Prov, c.store[p].Prov)
+			}
+		}
+		for p := range c.store {
+			if isBase[p] {
+				continue
+			}
+			d := c.store[p]
+			if at, hash, ok := sigs.find(d.Cells, seed); ok {
+				if !provContains(seed[at].Prov, d.Prov) {
+					seed[at].Prov = mergeProv(seed[at].Prov, d.Prov)
+				}
+			} else {
+				sigs.addHashed(hash, len(seed))
+				seed = append(seed, d)
+			}
+		}
+		c.store, c.sigs, c.post, c.sub = nil, nil, nil, nil // consumed
+	}
+	return closeJob{tuples: seed, base: len(members), work: work, owned: true, sigs: sigs}, basePos
+}
+
 // close regroups the forest into components (ordered by smallest member,
 // exactly as the one-shot partitioner), reuses the cached kept tuples of
-// clean components, and re-closes the dirty ones. The returned tuples are
-// fresh copies, safe to fold, sort, and materialize without disturbing the
-// cache.
+// clean components, and re-closes the dirty ones incrementally: a dirty
+// component's store is seeded with the cached closures of the previous
+// components it absorbed, and only the touched base tuples (new, or with
+// provenance grown by re-deduplication) are put on the worklist — pairs
+// among the reused closure tuples were already examined last Update, and
+// the partition confinement argument guarantees no mergeable pair ever
+// crosses the previous component boundaries without involving a new
+// tuple. The returned tuples are fresh copies, safe to fold, sort, and
+// materialize without disturbing the cache.
 func (x *Index) close(ctx context.Context, touched []bool, opts Options, stats *Stats) ([]Tuple, error) {
 	roots := make(map[int]int, len(x.comps)+1)
 	var groups [][]int
@@ -368,14 +547,25 @@ func (x *Index) close(ctx context.Context, touched []bool, opts Options, stats *
 	}
 	stats.Components = len(groups)
 
+	// ownerOf maps each base tuple to the cached component that held it
+	// last Update, to locate reusable closures for merged dirty groups.
+	ownerOf := make([]*cachedComp, len(x.base))
+	for _, c := range x.comps {
+		for _, id := range c.members {
+			ownerOf[id] = c
+		}
+	}
+
 	// Split clean from dirty. A component is clean iff none of its members
 	// were touched this Update: untouched trees keep their root and member
 	// set, so the cache lookup by root is exact (the member-set comparison
 	// is a cheap invariant check).
 	newComps := make(map[int]*cachedComp, len(groups))
 	dirtyOf := make([]int, 0, len(groups)) // group index per dirty comp
-	var dirtyComps [][]Tuple
-	cleanExtra := 0 // closure tuples beyond base ones in clean comps, for budget parity
+	var dirtyJobs []closeJob
+	var dirtyPos [][]int // member store positions per dirty job
+	cleanExtra := 0      // closure tuples beyond base ones in clean comps, for budget parity
+	seedExtra := 0       // reused closure tuples seeded into dirty comps, ditto
 	perGroup := make([]*cachedComp, len(groups))
 	for gi, members := range groups {
 		if len(members) > stats.LargestComp {
@@ -397,23 +587,23 @@ func (x *Index) close(ctx context.Context, touched []bool, opts Options, stats *
 				continue
 			}
 		}
-		comp := make([]Tuple, len(members))
-		for k, id := range members {
-			comp[k] = x.base[id]
-		}
+		job, basePos := x.seedDirty(members, ownerOf, touched)
+		stats.SeedReusedTuples += len(job.tuples) - len(members)
+		seedExtra += len(job.tuples) - len(members)
 		dirtyOf = append(dirtyOf, gi)
-		dirtyComps = append(dirtyComps, comp)
+		dirtyJobs = append(dirtyJobs, job)
+		dirtyPos = append(dirtyPos, basePos)
 	}
-	stats.DirtyComponents = len(dirtyComps)
+	stats.DirtyComponents = len(dirtyJobs)
 
 	// Close the dirty components through the same scheduler as the
-	// one-shot engine (closeSet: whole components across workers, or
-	// round-based parallelism inside a lone dirty component). The budget
-	// seeds with every tuple already live — base plus the cached closures'
-	// surplus — so Options.MaxTuples keeps its "total closure size"
-	// meaning across incremental runs.
-	bud := newBudget(opts.MaxTuples, len(x.base)+cleanExtra)
-	results, err := x.eng.closeSet(ctx, dirtyComps, opts, bud, stats)
+	// one-shot engine (closeSet: whole components across workers, hub
+	// components with work-stealing parallelism inside them). The budget
+	// seeds with every tuple already live — base, the clean closures'
+	// surplus, and the reused dirty seeds — so Options.MaxTuples keeps its
+	// "total closure size" meaning across incremental runs.
+	bud := newBudget(opts.MaxTuples, len(x.base)+cleanExtra+seedExtra)
+	results, err := x.eng.closeSet(ctx, dirtyJobs, opts, bud, stats)
 	if err != nil {
 		return nil, err
 	}
@@ -422,7 +612,10 @@ func (x *Index) close(ctx context.Context, touched []bool, opts Options, stats *
 		stats.ReclosedTuples += r.closure
 		gi := dirtyOf[di]
 		members := groups[gi]
-		c := &cachedComp{members: members, kept: r.kept, closure: r.closure}
+		c := &cachedComp{
+			members: members, kept: r.kept, closure: r.closure,
+			store: r.store, basePos: dirtyPos[di], sigs: r.sigs, post: r.post, sub: r.sub,
+		}
 		newComps[x.uf.find(members[0])] = c
 		perGroup[gi] = c
 	}

@@ -102,7 +102,7 @@ func (it *Iterator) closeComponent(comp []Tuple) ([]Tuple, error) {
 	if err := cl.run(context.Background(), &stats); err != nil {
 		return nil, err
 	}
-	kept := it.eng.subsume(cl.tuples)
+	kept := it.eng.subsumeIndexed(cl.tuples, cl.idx)
 	sort.Slice(kept, func(i, j int) bool {
 		return it.eng.lessCells(kept[i].Cells, kept[j].Cells)
 	})

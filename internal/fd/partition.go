@@ -144,56 +144,165 @@ func (e *engine) partition(tuples []Tuple) [][]Tuple {
 	return comps
 }
 
+// closeJob describes one component closure: the seed store (base tuples
+// first, then any closure tuples reused from a previous run of the same
+// component) and the worklist of store IDs whose candidate pairs have not
+// been examined yet. A one-shot closure is the trivial job — seed = the
+// component's base tuples, nil worklist (expand everything).
+type closeJob struct {
+	tuples []Tuple
+	base   int   // count of outer-union (base) tuples in the seed
+	work   []int // store IDs to expand; nil closes from scratch
+	// owned marks seed slices built for this job alone (the incremental
+	// index constructs them fresh): the closure may grow and mutate them in
+	// place. Unowned seeds (partitioner output) are copied first.
+	owned bool
+	// sigs, when non-nil, is a signature index already built over tuples;
+	// the sequential closure consumes it in place instead of re-hashing the
+	// store. The work-stealing engine builds its own sharded index either
+	// way.
+	sigs *sigIndex
+	// post, when non-nil, is a posting index already covering tuples
+	// (cached from the component's previous closure); the sequential
+	// closure appends produced tuples to it instead of re-indexing the
+	// whole store.
+	post *postingIndex
+	// subSeed/subN, when set, carry the previous run's canonical-subsumer
+	// cache for the first subN seed entries, so re-subsumption scans only
+	// the store's growth (see subsumeIncremental).
+	subSeed []int32
+	subN    int
+}
+
+// jobsOf wraps freshly partitioned components as from-scratch close jobs.
+func jobsOf(comps [][]Tuple) []closeJob {
+	jobs := make([]closeJob, len(comps))
+	for ci, comp := range comps {
+		jobs[ci] = closeJob{tuples: comp, base: len(comp)}
+	}
+	return jobs
+}
+
 // compResult is the outcome of closing one component.
 type compResult struct {
-	kept    []Tuple
+	kept []Tuple
+	// store is the full closure store, provenance enriched by every fold
+	// the closure performed. The incremental index caches it — together
+	// with the signature and posting indexes that cover it, when the
+	// sequential engine produced them — to seed future re-closures of the
+	// component.
+	store   []Tuple
+	sigs    *sigIndex
+	post    *postingIndex
+	sub     []int32 // canonical subsumer per store entry (-1 = kept)
 	stats   Stats
 	closure int
 	err     error
 }
 
-// closeOne closes one component (complementation closure followed by
+// newJobClosure copies a job's seed store into a fresh sequential closure
+// (the store grows and its provenance is folded in place, so the caller's
+// slices must stay untouched).
+func newJobClosure(e *engine, job closeJob, bud *budget) *closure {
+	tuples := job.tuples
+	if !job.owned {
+		tuples = make([]Tuple, len(job.tuples))
+		copy(tuples, job.tuples)
+	}
+	sigs := job.sigs
+	if sigs == nil {
+		sigs = newSigIndex()
+		for i := range tuples {
+			sigs.add(tuples[i].Cells, i)
+		}
+	}
+	if job.post != nil {
+		return &closure{eng: e, tuples: tuples, sigs: sigs, idx: job.post, bud: bud}
+	}
+	return newClosure(e, tuples, sigs, bud)
+}
+
+// closeOne closes one component job (complementation closure followed by
 // subsumption removal) against the shared budget, polling ctx inside the
 // closure.
-func (e *engine) closeOne(ctx context.Context, comp []Tuple, bud *budget) compResult {
-	if len(comp) == 1 {
+func (e *engine) closeOne(ctx context.Context, job closeJob, bud *budget) compResult {
+	if len(job.tuples) == 1 {
 		// A singleton component is its own closure and its own maximal
 		// tuple; skip the index setup entirely (data-lake inputs produce
 		// thousands of these).
 		if bud.exceeded() {
 			return compResult{err: ErrTupleBudget}
 		}
-		return compResult{kept: comp, closure: 1}
+		return compResult{kept: job.tuples, store: job.tuples, sub: []int32{-1}, closure: 1}
 	}
-	cl := newComponentClosure(e, comp, bud)
+	cl := newJobClosure(e, job, bud)
 	var st Stats
-	if err := cl.run(ctx, &st); err != nil {
+	if err := cl.runFrom(ctx, job.work, &st); err != nil {
 		return compResult{err: err}
 	}
-	return compResult{kept: e.subsume(cl.tuples), stats: st, closure: len(cl.tuples)}
+	kept, sub := e.subsumeIncremental(cl.tuples, cl.idx, job.subSeed, job.subN)
+	return compResult{kept: kept, store: cl.tuples, sigs: cl.sigs, post: cl.idx, sub: sub, stats: st, closure: len(cl.tuples)}
 }
 
-// closeEach closes every listed component, sequentially or — with
-// workers > 1 — scheduled whole across workers, largest first so the long
-// poles start early. Each result is handed to deliver on the calling
-// goroutine as soon as its component finishes (completion order, tagged
-// with the component index), which is what backs streaming output and
-// per-component progress: with workers, results flow from the closers to
-// this assembler through a channel. The context is checked at every
-// component boundary (and inside components by the closure itself).
-// Returns the first component error, context cancellation, or deliver
-// error; later deliveries are suppressed after a failure, but in-flight
-// components drain before returning.
-func (e *engine) closeEach(ctx context.Context, comps [][]Tuple, workers int, bud *budget, deliver func(ci int, r compResult) error) error {
-	if workers > len(comps) {
-		workers = len(comps)
+// closeOnePar closes one component job with every worker inside it — the
+// work-stealing engine by default, the round-based ablation with
+// Options.RoundParallel. Used for a hub component that dominates the input
+// (or a single-component input), where scheduling whole components across
+// workers would leave all but one of them idle.
+func (e *engine) closeOnePar(ctx context.Context, job closeJob, opts Options, bud *budget) compResult {
+	var st Stats
+	var closed []Tuple
+	if opts.RoundParallel {
+		cl := newJobClosure(e, job, bud)
+		if err := cl.runParallel(ctx, opts.Workers, job.work, &st); err != nil {
+			return compResult{err: err}
+		}
+		closed = cl.tuples
+	} else {
+		var err error
+		closed, err = closeConcurrent(ctx, e, job.tuples, job.work, opts.Workers, resolveShards(opts), bud, &st)
+		if err != nil {
+			return compResult{err: err}
+		}
 	}
-	if workers <= 1 {
-		for ci, comp := range comps {
+	kept, sub := e.subsumeIncremental(closed, nil, nil, 0)
+	return compResult{kept: kept, store: closed, sub: sub, stats: st, closure: len(closed)}
+}
+
+// Component scheduling thresholds for Workers > 1.
+const (
+	// hubMinTuples is the least seed-store size at which a dominant
+	// component is closed with intra-component parallelism; below it the
+	// per-worker setup outweighs the closure.
+	hubMinTuples = 512
+	// smallCompMax is the largest component closed inline on the assembler
+	// goroutine instead of being dispatched through the worker pool — a
+	// channel round-trip costs more than closing a few tuples, and
+	// data-lake inputs produce thousands of singletons.
+	smallCompMax = 16
+)
+
+// closeEach closes every listed component job, handing each result to
+// deliver on the calling goroutine as soon as its component finishes
+// (completion order, tagged with the component index) — which is what
+// backs streaming output and per-component progress. With workers > 1 the
+// jobs are split three ways: a hub component holding at least half of the
+// seed tuples (or a lone component) is closed first with every worker
+// inside it; components up to smallCompMax tuples run inline on the
+// assembler (no goroutine spawn — WithParallelFD must never pessimize a
+// tiny-component workload); the rest are scheduled whole across a worker
+// pool, largest first, flowing back to the assembler through a channel.
+// The context is checked at every component boundary (and inside
+// components by the closure engines). Returns the first component error,
+// context cancellation, or deliver error; later deliveries are suppressed
+// after a failure, but in-flight components drain before returning.
+func (e *engine) closeEach(ctx context.Context, jobs []closeJob, opts Options, bud *budget, deliver func(ci int, r compResult) error) error {
+	inline := func(indices []int) error {
+		for _, ci := range indices {
 			if err := ctx.Err(); err != nil {
 				return Canceled(err)
 			}
-			r := e.closeOne(ctx, comp, bud)
+			r := e.closeOne(ctx, jobs[ci], bud)
 			if r.err != nil {
 				return r.err
 			}
@@ -203,13 +312,57 @@ func (e *engine) closeEach(ctx context.Context, comps [][]Tuple, workers int, bu
 		}
 		return nil
 	}
-	// Dispatch largest components first for balance.
-	order := make([]int, len(comps))
-	for i := range order {
-		order[i] = i
+	if opts.Workers <= 1 {
+		all := make([]int, len(jobs))
+		for i := range all {
+			all[i] = i
+		}
+		return inline(all)
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return len(comps[order[a]]) > len(comps[order[b]])
+
+	total := 0
+	for i := range jobs {
+		total += len(jobs[i].tuples)
+	}
+	var hubs, pool, small []int
+	for ci := range jobs {
+		n := len(jobs[ci].tuples)
+		switch {
+		case len(jobs) == 1 || (n >= hubMinTuples && 2*n >= total):
+			hubs = append(hubs, ci)
+		case n > smallCompMax:
+			pool = append(pool, ci)
+		default:
+			small = append(small, ci)
+		}
+	}
+	sort.SliceStable(hubs, func(a, b int) bool {
+		return len(jobs[hubs[a]].tuples) > len(jobs[hubs[b]].tuples)
+	})
+	for _, ci := range hubs {
+		if err := ctx.Err(); err != nil {
+			return Canceled(err)
+		}
+		r := e.closeOnePar(ctx, jobs[ci], opts, bud)
+		if r.err != nil {
+			return r.err
+		}
+		if err := deliver(ci, r); err != nil {
+			return err
+		}
+	}
+	workers := opts.Workers
+	if workers > len(pool) {
+		workers = len(pool)
+	}
+	if workers <= 1 {
+		// One pool component (or none): nothing to schedule across workers;
+		// run everything inline without spawning goroutines.
+		return inline(append(pool, small...))
+	}
+	// Dispatch largest pool components first for balance.
+	sort.SliceStable(pool, func(a, b int) bool {
+		return len(jobs[pool[a]].tuples) > len(jobs[pool[b]].tuples)
 	})
 	type closedComp struct {
 		ci int
@@ -220,7 +373,7 @@ func (e *engine) closeEach(ctx context.Context, comps [][]Tuple, workers int, bu
 	stop := make(chan struct{})
 	go func() { // feeder: stops dispatching once a failure is seen
 		defer close(feed)
-		for _, ci := range order {
+		for _, ci := range pool {
 			select {
 			case feed <- ci:
 			case <-stop:
@@ -234,7 +387,7 @@ func (e *engine) closeEach(ctx context.Context, comps [][]Tuple, workers int, bu
 		go func() {
 			defer wg.Done()
 			for ci := range feed {
-				out <- closedComp{ci: ci, r: e.closeOne(ctx, comps[ci], bud)}
+				out <- closedComp{ci: ci, r: e.closeOne(ctx, jobs[ci], bud)}
 			}
 		}()
 	}
@@ -247,6 +400,26 @@ func (e *engine) closeEach(ctx context.Context, comps [][]Tuple, workers int, bu
 		if firstErr == nil {
 			firstErr = err
 			close(stop)
+		}
+	}
+	// Small components run inline while the pool works; they are cheap by
+	// construction, so the pool workers block on the out channel only
+	// briefly.
+	for _, ci := range small {
+		if firstErr != nil {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			fail(Canceled(err))
+			break
+		}
+		r := e.closeOne(ctx, jobs[ci], bud)
+		if r.err != nil {
+			fail(r.err)
+			break
+		}
+		if err := deliver(ci, r); err != nil {
+			fail(err)
 		}
 	}
 	for cc := range out { // assembler: single goroutine, serialized delivery
@@ -267,34 +440,21 @@ func (e *engine) closeEach(ctx context.Context, comps [][]Tuple, workers int, bu
 	return firstErr
 }
 
-// closeSet closes the listed components — sequentially, scheduled whole
-// across workers, or (for a lone component that cannot be split) with
-// round-based parallelism inside it — and returns one compResult per
-// component, in order. Merge work counters land in stats and opts.Progress
-// observes every completion. This is the single implementation both the
-// one-shot engine (over all components) and the incremental index (over
-// the dirty ones) close through, so the two paths cannot diverge.
-func (e *engine) closeSet(ctx context.Context, comps [][]Tuple, opts Options, bud *budget, stats *Stats) ([]compResult, error) {
-	if opts.Workers > 1 && len(comps) == 1 {
-		cl := newComponentClosure(e, comps[0], bud)
-		if err := cl.runParallel(ctx, opts.Workers, stats); err != nil {
-			return nil, err
-		}
-		r := compResult{kept: e.subsume(cl.tuples), closure: len(cl.tuples)}
-		if opts.Progress != nil {
-			opts.Progress(ComponentProgress{Done: 1, Total: 1, Members: len(comps[0]), Closure: r.closure})
-		}
-		return []compResult{r}, nil
-	}
-	results := make([]compResult, len(comps))
+// closeSet closes the listed component jobs through closeEach and returns
+// one compResult per job, in order. Merge work counters land in stats and
+// opts.Progress observes every completion. This is the single
+// implementation both the one-shot engine (over all components) and the
+// incremental index (over the dirty ones) close through, so the two paths
+// cannot diverge.
+func (e *engine) closeSet(ctx context.Context, jobs []closeJob, opts Options, bud *budget, stats *Stats) ([]compResult, error) {
+	results := make([]compResult, len(jobs))
 	done := 0
-	err := e.closeEach(ctx, comps, opts.Workers, bud, func(ci int, r compResult) error {
+	err := e.closeEach(ctx, jobs, opts, bud, func(ci int, r compResult) error {
 		results[ci] = r
-		stats.Merges += r.stats.Merges
-		stats.MergeAttempts += r.stats.MergeAttempts
+		stats.mergeWork(r.stats)
 		done++
 		if opts.Progress != nil {
-			opts.Progress(ComponentProgress{Done: done, Total: len(comps), Members: len(comps[ci]), Closure: r.closure})
+			opts.Progress(ComponentProgress{Done: done, Total: len(jobs), Members: jobs[ci].base, Closure: r.closure})
 		}
 		return nil
 	})
@@ -316,7 +476,7 @@ func (e *engine) closeComponents(ctx context.Context, comps [][]Tuple, opts Opti
 	}
 	stats.DirtyComponents = len(comps)
 
-	results, err := e.closeSet(ctx, comps, opts, bud, stats)
+	results, err := e.closeSet(ctx, jobsOf(comps), opts, bud, stats)
 	if err != nil {
 		return nil, err
 	}

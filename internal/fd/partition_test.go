@@ -173,10 +173,12 @@ func TestPartitionedMatchesNaive(t *testing.T) {
 			return false
 		}
 		for _, opts := range []Options{
-			{},                              // partitioned, sequential
-			{Workers: 4},                    // partitioned, component-parallel
-			{NoPartition: true},             // flat, sequential
-			{NoPartition: true, Workers: 4}, // flat, round-parallel
+			{},                                // partitioned, sequential
+			{Workers: 4},                      // partitioned, work-stealing inside hubs
+			{Workers: 4, RoundParallel: true}, // partitioned, round-based ablation
+			{NoPartition: true},               // flat, sequential
+			{NoPartition: true, Workers: 4},   // flat, work-stealing
+			{NoPartition: true, Workers: 4, RoundParallel: true}, // flat, round-based ablation
 		} {
 			got, err := FullDisjunction(tables, schema, opts)
 			if err != nil {

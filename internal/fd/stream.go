@@ -116,24 +116,14 @@ func Stream(ctx context.Context, tables []*table.Table, schema Schema, opts Opti
 		}
 		return nil
 	}
-	var err error
-	if opts.Workers > 1 && len(comps) == 1 {
-		// A lone component cannot be split across workers as a whole; use
-		// the round-based parallel closure, as the batch engine does. All
-		// rows necessarily arrive at the end — there is only one component.
-		noProgress := opts
-		noProgress.Progress = nil // deliver fires the one progress event
-		var results []compResult
-		if results, err = eng.closeSet(ctx, comps, noProgress, bud, &stats); err == nil {
-			err = deliver(0, results[0])
-		}
-	} else {
-		err = eng.closeEach(ctx, comps, opts.Workers, bud, func(ci int, r compResult) error {
-			stats.Merges += r.stats.Merges
-			stats.MergeAttempts += r.stats.MergeAttempts
-			return deliver(ci, r)
-		})
-	}
+	// Workers produce closure tuples in schedule order — out-of-order both
+	// across components and, with the work-stealing engine, inside one —
+	// but deliveries arrive per closed component and the pending buffer
+	// plus the per-component sort restore the deterministic emission order.
+	err := eng.closeEach(ctx, jobsOf(comps), opts, bud, func(ci int, r compResult) error {
+		stats.mergeWork(r.stats)
+		return deliver(ci, r)
+	})
 	stats.ReclosedTuples = stats.Closure
 	stats.Subsumed = stats.Closure - kept
 	stats.Output = emitted

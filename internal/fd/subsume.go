@@ -19,12 +19,44 @@ import (
 // values; scanning the tuple's rarest posting list therefore finds all
 // potential subsumers without a quadratic pass.
 func (e *engine) subsume(tuples []Tuple) []Tuple {
+	return e.subsumeIndexed(tuples, nil)
+}
+
+// subsumeIndexed is subsume with an optional posting index already covering
+// tuples (the closure that just produced the store has one); nil builds it.
+func (e *engine) subsumeIndexed(tuples []Tuple, idx *postingIndex) []Tuple {
+	kept, _ := e.subsumeIncremental(tuples, idx, nil, 0)
+	return kept
+}
+
+// subsumeIncremental is the full computation behind subsume, extended for
+// incremental re-closure: it returns, alongside the kept tuples, each store
+// entry's canonical subsumer position (-1 when kept) so the session index
+// can cache it. When oldSub covers the first n0 entries — the previous
+// run's store, whose entries and subsumption relations only ever grow —
+// those entries seed their search with the cached subsumer and scan only
+// the ascending posting lists' suffixes of entries ≥ n0, so re-subsumption
+// costs work proportional to the delta, not the store. Pass nil/0 to
+// compute from scratch.
+//
+// The provenance fold pass always covers the whole store: folds are
+// set unions guarded by provContains, so re-folding a chain the previous
+// run already folded is an allocation-free no-op, and chains through new
+// subsumers pick up exactly the provenance a from-scratch subsume would
+// propagate.
+func (e *engine) subsumeIncremental(tuples []Tuple, idx *postingIndex, oldSub []int32, n0 int) ([]Tuple, []int32) {
 	if len(tuples) <= 1 {
-		return tuples
+		sub := make([]int32, len(tuples))
+		for i := range sub {
+			sub[i] = -1
+		}
+		return tuples, sub
 	}
-	idx := newPostingIndex(e.nCols)
-	for i := range tuples {
-		idx.add(i, tuples[i].Cells)
+	if idx == nil {
+		idx = newPostingIndex(e.nCols)
+		for i := range tuples {
+			idx.add(i, tuples[i].Cells)
+		}
 	}
 
 	nonNulls := make([]int, len(tuples))
@@ -44,23 +76,37 @@ func (e *engine) subsume(tuples []Tuple) []Tuple {
 		return e.lessCells(tuples[j].Cells, tuples[cur].Cells)
 	}
 
-	// subsumer[i] is the chosen subsumer of dropped tuple i, or -1.
-	subsumer := make([]int, len(tuples))
+	// sub[i] is the chosen subsumer of dropped tuple i, or -1.
+	sub := make([]int32, len(tuples))
 	for i := range tuples {
-		subsumer[i] = -1
+		cur := -1
+		from := 0
+		if i < n0 {
+			// Cached: the best subsumer among the previous store; only
+			// entries appended since can beat it.
+			cur = int(oldSub[i])
+			from = n0
+		}
 		cells := tuples[i].Cells
 
-		// Scan the rarest posting list of i's non-null values.
+		// Scan the posting list with the fewest candidates at or past
+		// `from` among i's non-null values. Posting lists are ascending
+		// (stores and their indexes grow append-only), so the candidates
+		// ≥ from form a suffix located by binary search.
 		best := -1
 		bestLen := 0
+		bestFrom := 0
 		for c, sym := range cells {
 			if sym == intern.Null {
 				continue
 			}
-			l := len(idx.byCol[c][sym])
-			if best < 0 || l < bestLen {
-				best = c
-				bestLen = l
+			l := idx.byCol[c][sym]
+			lo := 0
+			if from > 0 {
+				lo = sort.SearchInts(l, from)
+			}
+			if n := len(l) - lo; best < 0 || n < bestLen {
+				best, bestLen, bestFrom = c, n, lo
 			}
 		}
 		if best < 0 {
@@ -68,42 +114,47 @@ func (e *engine) subsume(tuples []Tuple) []Tuple {
 			// any informative tuple; pick the canonical one. The partitioned
 			// engine applies the same rule across components in foldAllNull.
 			for j := range tuples {
-				if j != i && nonNulls[j] > 0 && better(j, subsumer[i]) {
-					subsumer[i] = j
+				if j != i && nonNulls[j] > 0 && better(j, cur) {
+					cur = j
 				}
 			}
+			sub[i] = int32(cur)
 			continue
 		}
-		for _, j := range idx.byCol[best][cells[best]] {
+		for _, j := range idx.byCol[best][cells[best]][bestFrom:] {
 			if j == i || !subsumes(tuples[j].Cells, cells) {
 				continue
 			}
-			if better(j, subsumer[i]) {
-				subsumer[i] = j
+			if better(j, cur) {
+				cur = j
 			}
 		}
+		sub[i] = int32(cur)
 	}
 
 	// Fold provenance along subsumption chains, processing least-informative
-	// tuples first so provenance propagates to the surviving maximal tuples.
+	// tuples first so provenance propagates to the surviving maximal tuples
+	// (chains strictly increase in informativeness, so ties need no order).
 	order := make([]int, len(tuples))
 	for i := range order {
 		order[i] = i
 	}
 	sort.Slice(order, func(a, b int) bool { return nonNulls[order[a]] < nonNulls[order[b]] })
 	for _, i := range order {
-		if s := subsumer[i]; s >= 0 {
-			tuples[s].Prov = mergeProv(tuples[s].Prov, tuples[i].Prov)
+		if s := sub[i]; s >= 0 {
+			if !provContains(tuples[s].Prov, tuples[i].Prov) {
+				tuples[s].Prov = mergeProv(tuples[s].Prov, tuples[i].Prov)
+			}
 		}
 	}
 
 	kept := make([]Tuple, 0, len(tuples))
 	for i := range tuples {
-		if subsumer[i] < 0 {
+		if sub[i] < 0 {
 			kept = append(kept, tuples[i])
 		}
 	}
-	return kept
+	return kept, sub
 }
 
 // subsumesRows is the decoded counterpart of subsumes, over materialized

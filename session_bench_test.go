@@ -97,6 +97,7 @@ type sessionBenchStep struct {
 	DirtyComponents int     `json:"dirty_components"`
 	Closure         int     `json:"closure"`
 	ReclosedTuples  int     `json:"reclosed_tuples"`
+	SeedReused      int     `json:"seed_reused_tuples"`
 	ReusedValues    int     `json:"reused_values"`
 }
 
@@ -161,6 +162,7 @@ func writeSessionBenchJSON(path string, sets map[string][][]*Table, opts []Optio
 				DirtyComponents: f.DirtyComponents,
 				Closure:         f.Closure,
 				ReclosedTuples:  f.ReclosedTuples,
+				SeedReused:      f.SeedReusedTuples,
 				ReusedValues:    f.ReusedValues,
 			})
 			sr.SessionMS += sessionMS

@@ -66,6 +66,7 @@ func TestSessionAnyBatchOrderMatchesIntegrate(t *testing.T) {
 	}{
 		{"default", nil},
 		{"parallel", []Option{WithParallelFD(4)}},
+		{"parallel-sharded", []Option{WithParallelFD(8), WithFDShards(8)}},
 		{"flat", []Option{WithPartitioning(false)}},
 		{"equi", []Option{WithEquiJoin()}},
 	}
