@@ -10,6 +10,8 @@
 //	fuzzyfd -session t1.csv t2.csv t3.csv ...    # incremental integration
 //	fuzzyfd -stream t1.csv t2.csv                # stream JSONL rows per component
 //	fuzzyfd -progress ...                        # live phase/component progress
+//	fuzzyfd -stats ...                           # pivot columns and skip counts
+//	fuzzyfd -pivot=false ...                     # unbucketed closure ablation
 //
 // With -session the files are integrated incrementally: the first two
 // form the initial set, then every further file is added to the running
@@ -39,6 +41,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -59,6 +62,8 @@ func main() {
 		workers  = flag.Int("workers", 1, "parallel FD workers")
 		shards   = flag.Int("shards", 0, "signature shards of the concurrent FD closure (0 = autotune from -workers)")
 		budget   = flag.Int("budget", 0, "abort if the FD closure exceeds this many tuples (0 = unlimited)")
+		pivot    = flag.Bool("pivot", true, "bucket FD posting lists by each component's most selective column")
+		statsF   = flag.Bool("stats", false, "report per-component pivot columns and skipped candidates on stderr")
 		session  = flag.Bool("session", false, "integrate incrementally: add one file at a time to a persistent session")
 		stream   = flag.Bool("stream", false, "stream the result to stdout as JSON Lines, one component at a time")
 		progress = flag.Bool("progress", false, "report pipeline phases and per-component closure progress on stderr")
@@ -113,9 +118,12 @@ func main() {
 	if *budget > 0 {
 		opts = append(opts, fuzzyfd.WithTupleBudget(*budget))
 	}
+	if !*pivot {
+		opts = append(opts, fuzzyfd.WithPivotIndex(false))
+	}
 	// Always observe progress: -progress prints it live, and a canceled
 	// run reports how far it got either way.
-	tracker := &progressTracker{print: *progress}
+	tracker := &progressTracker{print: *progress, stats: *statsF}
 	opts = append(opts, fuzzyfd.WithProgress(tracker.observe))
 
 	var res *fuzzyfd.Result
@@ -155,6 +163,9 @@ func main() {
 		}
 	}
 
+	if *statsF {
+		tracker.reportPivot(res)
+	}
 	if !*quiet {
 		rows := res.FDStats.Output
 		fmt.Fprintf(os.Stderr,
@@ -176,10 +187,16 @@ func main() {
 // locking is needed.
 type progressTracker struct {
 	print      bool
+	stats      bool // -stats: collect per-component pivot usage
 	phase      string
 	components int // closed so far in the FD phase
 	total      int
 	closure    int // closure tuples across closed components
+	// Pivot usage, keyed by output column index; resolved to column names
+	// only after the run, when the aligned schema exists.
+	pivoted      map[int]int // pivot column -> components bucketed by it
+	unbucketed   int         // components closed without a pivot
+	pivotSkipped int
 }
 
 func (p *progressTracker) observe(ev fuzzyfd.ProgressEvent) {
@@ -193,6 +210,17 @@ func (p *progressTracker) observe(ev fuzzyfd.ProgressEvent) {
 		p.components = ev.Component
 		p.total = ev.Components
 		p.closure += ev.ClosureTuples
+		if p.stats {
+			if ev.PivotColumn >= 0 {
+				if p.pivoted == nil {
+					p.pivoted = make(map[int]int)
+				}
+				p.pivoted[ev.PivotColumn]++
+				p.pivotSkipped += ev.PivotSkipped
+			} else {
+				p.unbucketed++
+			}
+		}
 	}
 	if !p.print {
 		return
@@ -211,6 +239,29 @@ func (p *progressTracker) observe(ev fuzzyfd.ProgressEvent) {
 	default:
 		fmt.Fprintf(os.Stderr, "progress: %s...\n", ev.Phase)
 	}
+}
+
+// reportPivot prints which pivot columns the closure bucketed components
+// by and how much candidate iteration that skipped. Column indexes resolve
+// to names only here — the aligned output schema does not exist until the
+// run completes.
+func (p *progressTracker) reportPivot(res *fuzzyfd.Result) {
+	if len(p.pivoted) == 0 {
+		fmt.Fprintf(os.Stderr, "pivot: no component large or selective enough to bucket (%d closed unbucketed)\n",
+			p.unbucketed)
+		return
+	}
+	cols := make([]int, 0, len(p.pivoted))
+	for c := range p.pivoted {
+		cols = append(cols, c)
+	}
+	sort.Ints(cols)
+	for _, c := range cols {
+		fmt.Fprintf(os.Stderr, "pivot: %d component(s) bucketed by column %q\n",
+			p.pivoted[c], res.Schema.Columns[c])
+	}
+	fmt.Fprintf(os.Stderr, "pivot: skipped %d candidate probes (%d buckets, %d minted during closure, %d components unbucketed)\n",
+		p.pivotSkipped, res.FDStats.PivotBuckets, res.FDStats.PivotMinted, p.unbucketed)
 }
 
 // reportCanceled prints how far the integration got before cancellation.

@@ -64,10 +64,15 @@ type ProgressEvent struct {
 	// Per-component closure progress (FD phase only; zero on phase
 	// transitions): Component counts components closed so far this run out
 	// of Components scheduled, the just-closed one having ClosureTuples
-	// closure tuples.
+	// closure tuples. PivotColumn is the output column the component's
+	// posting lists were pivot-bucketed by (-1 = closed unbucketed) and
+	// PivotSkipped the candidate iterations that bucketing skipped; both
+	// are meaningful only on component events (Component ≥ 1).
 	Component     int
 	Components    int
 	ClosureTuples int
+	PivotColumn   int
+	PivotSkipped  int
 }
 
 // PhaseError records which pipeline phase an integration error came from.
@@ -243,6 +248,8 @@ func (c Config) fdOptions() fd.Options {
 				Component:     p.Done,
 				Components:    p.Total,
 				ClosureTuples: p.Closure,
+				PivotColumn:   p.PivotColumn,
+				PivotSkipped:  p.PivotSkipped,
 			})
 		}
 	}

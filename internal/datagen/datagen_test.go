@@ -287,6 +287,57 @@ func TestIMDBDeterminism(t *testing.T) {
 	}
 }
 
+func TestSkewedShape(t *testing.T) {
+	tables := Skewed(SkewConfig{Seed: 6, Items: 300, Categories: 10})
+	if len(tables) != 3 {
+		t.Fatalf("tables=%d", len(tables))
+	}
+	items, details, cats := tables[0], tables[1], tables[2]
+	if len(items.Rows) != 300 || len(details.Rows) != 300 || len(cats.Rows) != 10 {
+		t.Fatalf("row counts items=%d details=%d categories=%d",
+			len(items.Rows), len(details.Rows), len(cats.Rows))
+	}
+	// The first category must dominate: the hub component only forms when
+	// one category value chains most items together.
+	ci := items.ColumnIndex("category")
+	dominant := 0
+	for _, row := range items.Rows {
+		if row[ci].Val == cats.Rows[0][0].Val {
+			dominant++
+		}
+	}
+	if dominant < len(items.Rows)/2 {
+		t.Errorf("dominant category covers only %d/%d items", dominant, len(items.Rows))
+	}
+	if dominant == len(items.Rows) {
+		t.Error("no minority categories generated")
+	}
+	// itemIDs must be unique and fully covered by details — itemID is the
+	// column pivot selection is supposed to pick inside the hub.
+	seen := map[string]bool{}
+	for _, row := range items.Rows {
+		if seen[row[0].Val] {
+			t.Errorf("duplicate itemID %q", row[0].Val)
+		}
+		seen[row[0].Val] = true
+	}
+	for _, row := range details.Rows {
+		if !seen[row[0].Val] {
+			t.Fatalf("dangling itemID %q in item_details", row[0].Val)
+		}
+	}
+}
+
+func TestSkewedDeterminism(t *testing.T) {
+	a := Skewed(SkewConfig{Seed: 11, Items: 80})
+	b := Skewed(SkewConfig{Seed: 11, Items: 80})
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("table %d differs between runs", i)
+		}
+	}
+}
+
 func TestIMDBDefaultSize(t *testing.T) {
 	tables := IMDB(IMDBConfig{Seed: 1})
 	if TotalRows(tables) < 4000 {

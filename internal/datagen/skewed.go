@@ -1,0 +1,91 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fuzzyfd/internal/table"
+)
+
+// SkewConfig parameterizes the skewed catalog workload: a three-table
+// integration set whose category column is deliberately unselective, the
+// way a genre column is in data-lake inputs.
+type SkewConfig struct {
+	Seed int64
+	// Items is the number of catalog items (0 → 150).
+	Items int
+	// Categories is the number of distinct categories (0 → 8). The first
+	// category is dominant: about two thirds of all items carry it.
+	Categories int
+}
+
+// skewedTaxes and skewedShipping are the categorical attributes of the
+// categories table; deliberately few so category rows chain broadly.
+var (
+	skewedTaxes    = []string{"standard", "reduced", "zero", "exempt"}
+	skewedShipping = []string{"parcel", "freight", "digital"}
+)
+
+// Skewed generates the skewed catalog benchmark: items (itemID, itemName,
+// category), item_details (itemID, price, stock), and categories
+// (category, taxClass, shipping), pre-aligned by identical column names
+// for fd.IdentitySchema.
+//
+// The category column chains most rows into one hub component — roughly
+// two thirds of all items share the dominant category, and each shares it
+// with that category's single categories row. Within the hub the itemID
+// column stays fully selective, so a pivot index has exactly one good
+// choice; the shape stresses both pivot selection (pick itemID, never the
+// near-constant category) and live bucket minting: categories rows carry
+// no itemID, so merging one into an item row creates taxClass/shipping
+// postings under a pivot value no seed tuple of those lists had.
+func Skewed(cfg SkewConfig) []*table.Table {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	nItems := cfg.Items
+	if nItems <= 0 {
+		nItems = 150
+	}
+	nCats := cfg.Categories
+	if nCats <= 0 {
+		nCats = 8
+	}
+
+	ids := uniqueIDs(r, "it", nItems)
+	cats := make([]string, nCats)
+	for i := range cats {
+		cats[i] = fmt.Sprintf("category-%02d", i)
+	}
+
+	items := table.New("items", "itemID", "itemName", "category")
+	for i := 0; i < nItems; i++ {
+		c := cats[0]
+		if nCats > 1 && r.Intn(3) == 0 {
+			c = cats[1+r.Intn(nCats-1)]
+		}
+		items.MustAppendRow(
+			table.S(ids[i]),
+			table.S(fmt.Sprintf("Item %s", ids[i])),
+			table.S(c),
+		)
+	}
+
+	details := table.New("item_details", "itemID", "price", "stock")
+	for i := 0; i < nItems; i++ {
+		details.MustAppendRow(
+			table.S(ids[i]),
+			table.S(fmt.Sprintf("%d.%02d", 1+r.Intn(500), r.Intn(100))),
+			table.S(fmt.Sprintf("%d", r.Intn(1000))),
+		)
+	}
+
+	categories := table.New("categories", "category", "taxClass", "shipping")
+	for i := 0; i < nCats; i++ {
+		categories.MustAppendRow(
+			table.S(cats[i]),
+			table.S(skewedTaxes[i%len(skewedTaxes)]),
+			table.S(skewedShipping[i%len(skewedShipping)]),
+		)
+	}
+
+	return []*table.Table{items, details, categories}
+}

@@ -53,10 +53,12 @@ var cancelVariants = []struct {
 	opts Options
 }{
 	{"partitioned", Options{}},
+	{"partitioned-nopivot", Options{NoPivot: true}},
 	{"partitioned-steal4", Options{Workers: 4}},
 	{"partitioned-round4", Options{Workers: 4, RoundParallel: true}},
 	{"flat", Options{NoPartition: true}},
 	{"flat-steal4", Options{NoPartition: true, Workers: 4}},
+	{"flat-steal4-nopivot", Options{NoPartition: true, Workers: 4, NoPivot: true}},
 	{"flat-round4", Options{NoPartition: true, Workers: 4, RoundParallel: true}},
 }
 

@@ -41,22 +41,74 @@ func (c *cancelCheck) poll() error {
 // least one equal non-null value, so scanning a tuple's posting lists
 // enumerates exactly the connected pairs. Keys are interned symbols, so a
 // probe hashes one machine word instead of a cell's text.
+//
+// With pivot >= 0 the index is additionally pivot-bucketed: every posting
+// list is sub-bucketed by each tuple's value in the pivot column (the
+// component's most selective column, see choosePivot), plus a null-pivot
+// bucket. Two tuples holding different non-null pivot values are
+// inconsistent on that column, so a probe for a tuple with pivot value p
+// only iterates the p-bucket and the null bucket of each of its posting
+// lists — candidates that conflict on the pivot are skipped without being
+// iterated. The flat lists are kept alongside the buckets: null-pivot
+// probes, subsumption's ascending suffix scans (subsumeIncremental), and
+// the partitioner read them unchanged.
 type postingIndex struct {
 	byCol []map[uint32][]int
+	// pivot is the output column the lists are sub-bucketed by, or -1 for
+	// an unbucketed index. byPivot[c][pivotKey(sym, p)] holds the tuples of
+	// byCol[c][sym] whose pivot cell is p, in the same ascending order.
+	pivot   int
+	byPivot []map[uint64][]int
+	// sealed marks the end of seeding; buckets minted past this point were
+	// created by merged tuples carrying (list, pivot) pairs no seed tuple
+	// had. buckets counts all buckets, minted only the post-seal ones.
+	sealed  bool
+	buckets int
+	minted  int
 }
 
 func newPostingIndex(nCols int) *postingIndex {
-	idx := &postingIndex{byCol: make([]map[uint32][]int, nCols)}
+	idx := &postingIndex{byCol: make([]map[uint32][]int, nCols), pivot: -1}
 	for i := range idx.byCol {
 		idx.byCol[i] = make(map[uint32][]int)
 	}
 	return idx
 }
 
+// newPivotIndex returns a posting index bucketed by the given pivot column
+// (-1 yields a plain unbucketed index).
+func newPivotIndex(nCols, pivot int) *postingIndex {
+	idx := newPostingIndex(nCols)
+	if pivot >= 0 {
+		idx.pivot = pivot
+		idx.byPivot = make([]map[uint64][]int, nCols)
+		for i := range idx.byPivot {
+			idx.byPivot[i] = make(map[uint64][]int)
+		}
+	}
+	return idx
+}
+
+// pivotKey packs a posting list's value symbol and a pivot-column symbol
+// into one bucket key.
+func pivotKey(sym, p uint32) uint64 { return uint64(sym)<<32 | uint64(p) }
+
 func (idx *postingIndex) add(tupleID int, cells []uint32) {
 	for c, sym := range cells {
-		if sym != intern.Null {
-			idx.byCol[c][sym] = append(idx.byCol[c][sym], tupleID)
+		if sym == intern.Null {
+			continue
+		}
+		idx.byCol[c][sym] = append(idx.byCol[c][sym], tupleID)
+		if idx.pivot >= 0 {
+			key := pivotKey(sym, cells[idx.pivot])
+			l, ok := idx.byPivot[c][key]
+			if !ok {
+				idx.buckets++
+				if idx.sealed {
+					idx.minted++
+				}
+			}
+			idx.byPivot[c][key] = append(l, tupleID)
 		}
 	}
 }
@@ -93,19 +145,98 @@ func (s *stampSet) seen(j int) bool {
 }
 
 // candidates calls fn for every tuple sharing an equal non-null value with
-// cells, deduplicated, excluding self.
-func (idx *postingIndex) candidates(self int, cells []uint32, seen *stampSet, fn func(j int)) {
-	for c, sym := range cells {
-		if sym == intern.Null {
-			continue
-		}
-		for _, j := range idx.byCol[c][sym] {
+// cells, deduplicated, excluding self. On a pivoted index a probe with a
+// non-null pivot cell iterates only the matching-pivot and null-pivot
+// buckets; the return value is how many candidate iterations that pruning
+// skipped (always 0 on an unbucketed index or a null-pivot probe).
+func (idx *postingIndex) candidates(self int, cells []uint32, seen *stampSet, fn func(j int)) (skipped int) {
+	visit := func(list []int) {
+		for _, j := range list {
 			if j == self || seen.seen(j) {
 				continue
 			}
 			fn(j)
 		}
 	}
+	if idx.pivot >= 0 && cells[idx.pivot] != intern.Null {
+		p := cells[idx.pivot]
+		for c, sym := range cells {
+			if sym == intern.Null {
+				continue
+			}
+			same := idx.byPivot[c][pivotKey(sym, p)]
+			null := idx.byPivot[c][pivotKey(sym, intern.Null)]
+			skipped += len(idx.byCol[c][sym]) - len(same) - len(null)
+			visit(same)
+			visit(null)
+		}
+		return skipped
+	}
+	for c, sym := range cells {
+		if sym == intern.Null {
+			continue
+		}
+		visit(idx.byCol[c][sym])
+	}
+	return 0
+}
+
+// pivotMinTuples is the smallest seed store a pivoted index is built for;
+// below it the per-column statistics cost more than the pruning saves.
+const pivotMinTuples = 32
+
+// choosePivot picks the bucketing column for a seed store: the column
+// minimizing the expected per-probe scan cost — a probe iterates the
+// matching bucket (nonNull/distinct tuples on average) plus the null
+// bucket (the column's null count) — or -1 when no column's estimated
+// cost beats half of scanning the store, i.e. the schema is uniformly
+// unselective and bucketing would only add overhead. Deterministic:
+// depends only on the seed tuples' cells, so every engine variant picks
+// the same pivot for the same component.
+func choosePivot(tuples []Tuple, nCols int) int {
+	n := len(tuples)
+	if n < pivotMinTuples {
+		return -1
+	}
+	nonNull := make([]int, nCols)
+	distinct := make([]int, nCols)
+	seen := make(map[uint64]struct{}, n)
+	for i := range tuples {
+		for c, sym := range tuples[i].Cells {
+			if sym == intern.Null {
+				continue
+			}
+			nonNull[c]++
+			key := uint64(c)<<32 | uint64(sym)
+			if _, ok := seen[key]; !ok {
+				seen[key] = struct{}{}
+				distinct[c]++
+			}
+		}
+	}
+	best, bestCost := -1, 0.0
+	for c := 0; c < nCols; c++ {
+		if distinct[c] < 2 {
+			continue
+		}
+		cost := float64(n-nonNull[c]) + float64(nonNull[c])/float64(distinct[c])
+		if best < 0 || cost < bestCost {
+			best, bestCost = c, cost
+		}
+	}
+	if best >= 0 && 2*bestCost >= float64(n) {
+		return -1
+	}
+	return best
+}
+
+// pivotFor resolves the pivot column for a closure over the given seed,
+// honoring the NoPivot ablation.
+func pivotFor(opts Options, tuples []Tuple, nCols int) int {
+	if opts.NoPivot {
+		return -1
+	}
+	return choosePivot(tuples, nCols)
 }
 
 // closure is the mutable state of one complementation run: the growing
@@ -121,25 +252,26 @@ type closure struct {
 }
 
 // newClosure wraps an existing store whose signature index is already
-// populated.
-func newClosure(eng *engine, tuples []Tuple, sigs *sigIndex, bud *budget) *closure {
-	idx := newPostingIndex(eng.nCols)
+// populated, building a posting index bucketed by pivot (-1 = unbucketed).
+func newClosure(eng *engine, tuples []Tuple, sigs *sigIndex, bud *budget, pivot int) *closure {
+	idx := newPivotIndex(eng.nCols, pivot)
 	for i := range tuples {
 		idx.add(i, tuples[i].Cells)
 	}
+	idx.sealed = true
 	return &closure{eng: eng, tuples: tuples, sigs: sigs, idx: idx, bud: bud}
 }
 
 // newComponentClosure copies one component into a fresh store with local
 // tuple IDs and a local signature index.
-func newComponentClosure(eng *engine, comp []Tuple, bud *budget) *closure {
+func newComponentClosure(eng *engine, comp []Tuple, bud *budget, pivot int) *closure {
 	tuples := make([]Tuple, len(comp))
 	copy(tuples, comp)
 	sigs := newSigIndex()
 	for i := range tuples {
 		sigs.add(tuples[i].Cells, i)
 	}
-	return newClosure(eng, tuples, sigs, bud)
+	return newClosure(eng, tuples, sigs, bud, pivot)
 }
 
 // run closes the store under pairwise complementation using a worklist. New
@@ -172,6 +304,7 @@ func (c *closure) runFrom(ctx context.Context, work []int, stats *Stats) error {
 	var stopErr error
 	chk := cancelCheck{ctx: ctx}
 	mbuf := make([]uint32, 0, c.eng.nCols)
+	skipped, minted0 := 0, c.idx.minted
 
 	for len(queue) > 0 && stopErr == nil {
 		i := queue[len(queue)-1]
@@ -179,7 +312,7 @@ func (c *closure) runFrom(ctx context.Context, work []int, stats *Stats) error {
 
 		scratch.next(len(c.tuples))
 		var newIDs []int
-		c.idx.candidates(i, c.tuples[i].Cells, &scratch, func(j int) {
+		skipped += c.idx.candidates(i, c.tuples[i].Cells, &scratch, func(j int) {
 			if stopErr != nil {
 				return
 			}
@@ -211,6 +344,8 @@ func (c *closure) runFrom(ctx context.Context, work []int, stats *Stats) error {
 			queue = append(queue, id)
 		}
 	}
+	stats.PivotSkipped += skipped
+	stats.PivotMinted += c.idx.minted - minted0
 	return stopErr
 }
 
@@ -243,6 +378,7 @@ func (c *closure) runParallel(ctx context.Context, workers int, work []int, stat
 		cells []uint32
 		prov  []TID
 	}
+	minted0 := c.idx.minted
 
 	for len(frontier) > 0 {
 		if err := ctx.Err(); err != nil {
@@ -254,6 +390,7 @@ func (c *closure) runParallel(ctx context.Context, workers int, work []int, stat
 		}
 		results := make([][]proposal, w)
 		attempts := make([]int, w)
+		skips := make([]int, w)
 		var wg sync.WaitGroup
 		for wi := 0; wi < w; wi++ {
 			wg.Add(1)
@@ -267,7 +404,7 @@ func (c *closure) runParallel(ctx context.Context, workers int, work []int, stat
 				for fi := wi; fi < len(frontier) && !canceled; fi += w {
 					i := frontier[fi]
 					scratch.next(len(c.tuples))
-					c.idx.candidates(i, c.tuples[i].Cells, &scratch, func(j int) {
+					skips[wi] += c.idx.candidates(i, c.tuples[i].Cells, &scratch, func(j int) {
 						if canceled || chk.poll() != nil {
 							canceled = true
 							return
@@ -295,6 +432,7 @@ func (c *closure) runParallel(ctx context.Context, workers int, work []int, stat
 		var all []proposal
 		for wi, r := range results {
 			stats.MergeAttempts += attempts[wi]
+			stats.PivotSkipped += skips[wi]
 			all = append(all, r...)
 		}
 		// Deterministic apply order regardless of worker scheduling.
@@ -320,5 +458,6 @@ func (c *closure) runParallel(ctx context.Context, workers int, work []int, stat
 			}
 		}
 	}
+	stats.PivotMinted += c.idx.minted - minted0
 	return nil
 }

@@ -222,6 +222,67 @@ func (p *postingList) each(fn func(id int) bool) {
 // postKey packs an output column and a value symbol into one posting key.
 func postKey(col int, sym uint32) uint64 { return uint64(col)<<32 | uint64(sym) }
 
+// concPivotList is the pivot-bucketed counterpart of a postingList: one
+// (column, symbol) posting list sub-bucketed by each tuple's pivot-column
+// value. The fixed-key-set invariant the lock-free posting map relies on
+// ("a merged tuple's symbols are a union of its parents'") does NOT extend
+// to (list, pivot) pairs: a merged tuple inherits its pivot value from one
+// parent but can carry a symbol only the other parent had, minting a pair
+// no seed tuple exhibited. Buckets are therefore pre-minted at seed time
+// (single-threaded), and mid-closure mints go through a locked
+// copy-on-write slow path: the bucket map is immutable once published
+// through the atomic pointer, growth copies it under mu and republishes.
+// Reads stay lock-free; a reader on a just-replaced map misses only
+// buckets minted concurrently, whose tuples expand later and probe back
+// (the same later-side-probes argument the unbucketed engine makes).
+type concPivotList struct {
+	n       atomic.Int64 // ids published across all buckets, for skip accounting
+	mu      sync.Mutex   // guards bucket-map growth
+	buckets atomic.Pointer[map[uint32]*postingList]
+}
+
+// bucket returns the posting list for pivot value p, or nil when no tuple
+// with that (symbol, pivot) pair has been published.
+func (l *concPivotList) bucket(p uint32) *postingList {
+	if m := l.buckets.Load(); m != nil {
+		return (*m)[p]
+	}
+	return nil
+}
+
+// append publishes id under pivot value p, minting the bucket through the
+// locked copy-on-write slow path when absent. Reports whether a bucket was
+// minted.
+func (l *concPivotList) append(p uint32, id int) (minted bool) {
+	b := l.bucket(p)
+	if b == nil {
+		l.mu.Lock()
+		old := l.buckets.Load()
+		if old != nil {
+			b = (*old)[p]
+		}
+		if b == nil {
+			b = &postingList{}
+			var nm map[uint32]*postingList
+			if old != nil {
+				nm = make(map[uint32]*postingList, len(*old)+1)
+				for k, v := range *old {
+					nm[k] = v
+				}
+			} else {
+				nm = make(map[uint32]*postingList, 1)
+			}
+			nm[p] = b
+			l.buckets.Store(&nm)
+			minted = true
+		}
+		l.mu.Unlock()
+	}
+	b.append(id)
+	l.n.Add(1)
+	return minted
+}
+
 // concDeque is one worker's worklist of pending tuple expansions. The
 // owner pushes and pops at the tail (LIFO keeps hot tuples cached);
 // thieves take the older half from the head.
@@ -278,11 +339,18 @@ func (d *concDeque) stealHalf(dst *concDeque) bool {
 const provStripes = 64
 
 // concClosure is the shared state of one concurrent component closure.
+// Exactly one of post/postPiv is populated: post when pivot < 0 (the
+// unbucketed ablation), postPiv when the closure is pivot-bucketed. Both
+// maps have their (column, symbol) key set fixed after seeding; only
+// postPiv's per-list bucket maps can still grow (see concPivotList).
 type concClosure struct {
 	eng     *engine
 	store   *concStore
 	sigs    *concSig
 	post    map[uint64]*postingList
+	postPiv map[uint64]*concPivotList
+	pivot   int
+	seeded  int // buckets pre-minted at seed time
 	bud     *budget
 	workers []*concWorker
 
@@ -334,6 +402,8 @@ type concWorker struct {
 	chk      cancelCheck
 	mbuf     []uint32 // reusable merge buffer (duplicate productions allocate nothing)
 	attempts int
+	skipped  int // candidate iterations avoided by pivot bucketing
+	minted   int // buckets minted through the slow path
 }
 
 // steal takes work from another worker's deque, scanning victims round-
@@ -375,7 +445,12 @@ func (w *concWorker) run() {
 // expand merges one tuple against every indexed candidate sharing a value
 // with it. Candidates published after the expansion's store snapshot are
 // skipped: they expand later and probe this tuple then, so every pair is
-// attempted by whichever side is expanded last.
+// attempted by whichever side is expanded last. On a pivoted closure only
+// the matching-pivot and null-pivot buckets of each posting list are
+// iterated — any mergeable candidate is consistent on the pivot column, so
+// it lives in one of the two — and because this tuple was fully indexed
+// before it was queued, the bucket matching its own pivot value always
+// exists; only the optional null bucket can be absent.
 func (w *concWorker) expand(id int) {
 	cc := w.cc
 	// Snapshot the segment directory once; a candidate learned from a
@@ -391,63 +466,111 @@ func (w *concWorker) expand(id int) {
 	cells := at(id).Cells
 	bound := cc.store.len()
 	w.scratch.next(bound)
-	for c, sym := range cells {
-		if sym == intern.Null {
-			continue
+	ok := true
+	visit := func(j int) bool {
+		if j == id || j >= bound || w.scratch.seen(j) {
+			return true
 		}
-		pl := cc.post[postKey(c, sym)]
-		ok := true
-		pl.each(func(j int) bool {
-			if j == id || j >= bound || w.scratch.seen(j) {
-				return true
+		if cc.stop.Load() {
+			ok = false
+			return false
+		}
+		if err := w.chk.poll(); err != nil {
+			cc.fail(err)
+			ok = false
+			return false
+		}
+		w.attempts++
+		merged, mok := tryMergeInto(w.mbuf, cells, at(j).Cells)
+		if !mok {
+			return true
+		}
+		w.mbuf = merged
+		hash := hashCells(merged)
+		if k, found := cc.sigs.find(cc.store, hash, merged); found {
+			// Duplicate production — the overwhelmingly common case:
+			// fold the parents' provenance without allocating a merged
+			// tuple's worth of cells or provenance first.
+			cc.foldParents(k, cc.prov(id), cc.prov(j))
+			return true
+		}
+		prov := mergeProv(cc.prov(id), cc.prov(j))
+		k, existed := cc.sigs.insertOrGet(cc.store, hash, cloneCells(merged), prov)
+		if existed {
+			// Another worker inserted the same cells between the probe
+			// and the insert; fold into its tuple instead.
+			cc.foldParents(k, cc.prov(id), cc.prov(j))
+			return true
+		}
+		if err := cc.bud.add(1); err != nil {
+			cc.fail(err)
+			ok = false
+			return false
+		}
+		if cc.pivot >= 0 {
+			p := merged[cc.pivot]
+			for nc, nsym := range merged {
+				if nsym != intern.Null {
+					if cc.postPiv[postKey(nc, nsym)].append(p, k) {
+						w.minted++
+					}
+				}
 			}
-			if cc.stop.Load() {
-				ok = false
-				return false
-			}
-			if err := w.chk.poll(); err != nil {
-				cc.fail(err)
-				ok = false
-				return false
-			}
-			w.attempts++
-			merged, mok := tryMergeInto(w.mbuf, cells, at(j).Cells)
-			if !mok {
-				return true
-			}
-			w.mbuf = merged
-			hash := hashCells(merged)
-			if k, found := cc.sigs.find(cc.store, hash, merged); found {
-				// Duplicate production — the overwhelmingly common case:
-				// fold the parents' provenance without allocating a merged
-				// tuple's worth of cells or provenance first.
-				cc.foldParents(k, cc.prov(id), cc.prov(j))
-				return true
-			}
-			prov := mergeProv(cc.prov(id), cc.prov(j))
-			k, existed := cc.sigs.insertOrGet(cc.store, hash, cloneCells(merged), prov)
-			if existed {
-				// Another worker inserted the same cells between the probe
-				// and the insert; fold into its tuple instead.
-				cc.foldParents(k, cc.prov(id), cc.prov(j))
-				return true
-			}
-			if err := cc.bud.add(1); err != nil {
-				cc.fail(err)
-				ok = false
-				return false
-			}
+		} else {
 			for nc, nsym := range merged {
 				if nsym != intern.Null {
 					cc.post[postKey(nc, nsym)].append(k)
 				}
 			}
-			cc.pending.Add(1)
-			w.deque.push(k)
-			return true
-		})
-		if !ok {
-			return
+		}
+		cc.pending.Add(1)
+		w.deque.push(k)
+		return true
+	}
+	for c, sym := range cells {
+		if sym == intern.Null {
+			continue
+		}
+		if cc.pivot < 0 {
+			cc.post[postKey(c, sym)].each(visit)
+			if !ok {
+				return
+			}
+			continue
+		}
+		pl := cc.postPiv[postKey(c, sym)]
+		if p := cells[cc.pivot]; p != intern.Null {
+			// Load the total before the buckets: concurrent appends can then
+			// only make scanned over-approximate the published total, so the
+			// skip counter never overcounts (clamped at zero below).
+			total := pl.n.Load()
+			scanned := int64(0)
+			if b := pl.bucket(p); b != nil {
+				scanned += b.n.Load()
+				b.each(visit)
+				if !ok {
+					return
+				}
+			}
+			if b := pl.bucket(intern.Null); b != nil {
+				scanned += b.n.Load()
+				b.each(visit)
+				if !ok {
+					return
+				}
+			}
+			if d := total - scanned; d > 0 {
+				w.skipped += int(d)
+			}
+		} else if m := pl.buckets.Load(); m != nil {
+			// Null-pivot probe: consistent with every pivot value, so every
+			// bucket must be scanned.
+			for _, b := range *m {
+				b.each(visit)
+				if !ok {
+					return
+				}
+			}
 		}
 	}
 }
@@ -481,10 +604,11 @@ func resolveShards(opts Options) int {
 // the work-stealing engine. seed is the initial store (deduplicated; base
 // tuples first, then any closure tuples reused from a previous run); work
 // lists the store IDs whose pairs have not been examined yet (nil expands
-// everything — a from-scratch closure). Returns the closed store, whose
+// everything — a from-scratch closure); pivot is the bucketing column for
+// the posting lists (-1 = unbucketed). Returns the closed store, whose
 // tuple set and provenance are byte-equivalent to the sequential engine's
 // up to order.
-func closeConcurrent(ctx context.Context, eng *engine, seed []Tuple, work []int, workers, shards int, bud *budget, stats *Stats) ([]Tuple, error) {
+func closeConcurrent(ctx context.Context, eng *engine, seed []Tuple, work []int, workers, shards, pivot int, bud *budget, stats *Stats) ([]Tuple, error) {
 	if len(seed) > 0 && bud.exceeded() {
 		return nil, ErrTupleBudget
 	}
@@ -495,12 +619,21 @@ func closeConcurrent(ctx context.Context, eng *engine, seed []Tuple, work []int,
 		eng:   eng,
 		store: &concStore{},
 		sigs:  newConcSig(shards),
-		post:  make(map[uint64]*postingList),
+		pivot: pivot,
 		bud:   bud,
 	}
+	if pivot >= 0 {
+		cc.postPiv = make(map[uint64]*concPivotList)
+	} else {
+		cc.post = make(map[uint64]*postingList)
+	}
+	stats.PivotColumn = pivot
 	// Seed the store, signature shards, and posting lists single-threaded;
-	// the concurrent phase only ever appends to posting lists whose keys
-	// already exist (a merged tuple's symbols are a union of its parents').
+	// the concurrent phase only ever appends to posting lists whose
+	// (column, symbol) keys already exist (a merged tuple's symbols are a
+	// union of its parents'). Pivot buckets are pre-minted here for every
+	// (list, pivot) pair a seed tuple exhibits; merged tuples can still
+	// mint pairs no seed had — the concPivotList slow path covers those.
 	for i := range seed {
 		id := cc.store.alloc()
 		*cc.store.at(id) = seed[i]
@@ -512,6 +645,17 @@ func closeConcurrent(ctx context.Context, eng *engine, seed []Tuple, work []int,
 				continue
 			}
 			key := postKey(c, sym)
+			if pivot >= 0 {
+				pl := cc.postPiv[key]
+				if pl == nil {
+					pl = &concPivotList{}
+					cc.postPiv[key] = pl
+				}
+				if pl.append(seed[i].Cells[pivot], id) {
+					cc.seeded++
+				}
+				continue
+			}
 			pl := cc.post[key]
 			if pl == nil {
 				pl = &postingList{}
@@ -527,6 +671,7 @@ func closeConcurrent(ctx context.Context, eng *engine, seed []Tuple, work []int,
 		}
 	}
 	if len(work) == 0 {
+		stats.PivotBuckets += cc.seeded
 		return cc.store.export(), nil
 	}
 	cc.pending.Store(int64(len(work)))
@@ -554,9 +699,14 @@ func closeConcurrent(ctx context.Context, eng *engine, seed []Tuple, work []int,
 		return nil, cc.firstErr
 	}
 	stats.Merges += cc.store.len() - len(seed)
+	minted := 0
 	for _, w := range cc.workers {
 		stats.MergeAttempts += w.attempts
+		stats.PivotSkipped += w.skipped
+		minted += w.minted
 	}
+	stats.PivotMinted += minted
+	stats.PivotBuckets += cc.seeded + minted
 	stats.StolenBatches += int(cc.steals.Load())
 	if shards > stats.Shards {
 		stats.Shards = shards

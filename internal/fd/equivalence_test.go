@@ -37,7 +37,7 @@ func truncated(tables []*table.Table, nBatches, k int) []*table.Table {
 func TestIndexIncrementalMatchesBatch(t *testing.T) {
 	tables := datagen.IMDB(datagen.IMDBConfig{Seed: 42, TotalTuples: 1200})
 	const nBatches = 4
-	for _, opts := range []fd.Options{{}, {Workers: 4}, {Workers: 4, RoundParallel: true}} {
+	for _, opts := range []fd.Options{{}, {NoPivot: true}, {Workers: 4}, {Workers: 4, RoundParallel: true}} {
 		x := fd.NewIndex()
 		for k := 1; k <= nBatches; k++ {
 			view := truncated(tables, nBatches, k)
@@ -96,7 +96,7 @@ func TestEnginesAgreeOnDatagenSets(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s seed %d flat: %v", g.name, seed, err)
 			}
-			for _, opts := range []fd.Options{{}, {Workers: 4}, {Workers: 8, Shards: 8}, {Workers: 4, RoundParallel: true}} {
+			for _, opts := range []fd.Options{{}, {NoPivot: true}, {Workers: 4}, {Workers: 4, NoPivot: true}, {Workers: 8, Shards: 8}, {Workers: 4, RoundParallel: true}} {
 				got, err := fd.FullDisjunction(tables, schema, opts)
 				if err != nil {
 					t.Fatalf("%s seed %d opts %+v: %v", g.name, seed, opts, err)
@@ -113,4 +113,86 @@ func TestEnginesAgreeOnDatagenSets(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestPivotMatchesUnbucketedOnSkewed pins the pivot index's byte-identity
+// on the workload built to stress it: the skewed catalog's dominant
+// category chains most rows into one hub whose pivot is the itemID
+// column, and category rows (no itemID) force live bucket minting in
+// every engine. All engine variants must match the unbucketed closure
+// exactly — tables and provenance.
+func TestPivotMatchesUnbucketedOnSkewed(t *testing.T) {
+	for _, seed := range []int64{3, 21} {
+		tables := datagen.Skewed(datagen.SkewConfig{Seed: seed, Items: 400})
+		schema := fd.IdentitySchema(tables)
+		ref, err := fd.FullDisjunction(tables, schema, fd.Options{NoPivot: true})
+		if err != nil {
+			t.Fatalf("seed %d flat: %v", seed, err)
+		}
+		for _, opts := range []fd.Options{{}, {Workers: 4}, {Workers: 8}, {Workers: 4, RoundParallel: true}} {
+			got, err := fd.FullDisjunction(tables, schema, opts)
+			if err != nil {
+				t.Fatalf("seed %d opts %+v: %v", seed, opts, err)
+			}
+			if !got.Table.Equal(ref.Table) {
+				t.Errorf("seed %d opts %+v: tables differ", seed, opts)
+			}
+			if !reflect.DeepEqual(got.Prov, ref.Prov) {
+				t.Errorf("seed %d opts %+v: provenance differs", seed, opts)
+			}
+			st := got.Stats
+			if st.PivotColumn != schemaColumn(schema, "itemID") {
+				t.Errorf("seed %d opts %+v: pivot column %d, want itemID", seed, opts, st.PivotColumn)
+			}
+			if st.PivotSkipped == 0 || st.PivotMinted == 0 {
+				t.Errorf("seed %d opts %+v: pivot did no work (skipped=%d minted=%d)",
+					seed, opts, st.PivotSkipped, st.PivotMinted)
+			}
+		}
+	}
+}
+
+// TestIndexIncrementalPivotOnSkewed: incremental sessions over growing
+// prefixes of the skewed catalog stay byte-identical to one-shot runs
+// with the pivot engaged — the cached hub component's bucketed posting
+// index is extended in place across Updates.
+func TestIndexIncrementalPivotOnSkewed(t *testing.T) {
+	tables := datagen.Skewed(datagen.SkewConfig{Seed: 5, Items: 300})
+	const nBatches = 3
+	for _, opts := range []fd.Options{{}, {Workers: 4}} {
+		x := fd.NewIndex()
+		for k := 1; k <= nBatches; k++ {
+			view := truncated(tables, nBatches, k)
+			schema := fd.IdentitySchema(view)
+			got, err := x.Update(view, schema, opts)
+			if err != nil {
+				t.Fatalf("opts %+v batch %d: %v", opts, k, err)
+			}
+			want, err := fd.FullDisjunction(view, schema, opts)
+			if err != nil {
+				t.Fatalf("opts %+v batch %d oneshot: %v", opts, k, err)
+			}
+			if !got.Table.Equal(want.Table) || !reflect.DeepEqual(got.Prov, want.Prov) {
+				t.Fatalf("opts %+v batch %d: incremental differs from batch", opts, k)
+			}
+			if k == nBatches {
+				if got.Stats.PivotColumn != schemaColumn(schema, "itemID") {
+					t.Errorf("opts %+v: final Update pivot column %d, want itemID", opts, got.Stats.PivotColumn)
+				}
+				if got.Stats.PivotSkipped == 0 {
+					t.Errorf("opts %+v: final Update skipped no candidates", opts)
+				}
+			}
+		}
+	}
+}
+
+// schemaColumn finds a named output column's index.
+func schemaColumn(s fd.Schema, name string) int {
+	for i, c := range s.Columns {
+		if c == name {
+			return i
+		}
+	}
+	return -1
 }

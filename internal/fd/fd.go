@@ -196,6 +196,15 @@ type Options struct {
 	// outer union globally — the pre-partitioned engine, kept as an
 	// equivalence baseline and ablation. Partitioning is on by default.
 	NoPartition bool
+	// NoPivot disables pivot-bucketed posting lists and scans flat posting
+	// lists during the closure — the unbucketed path, kept as an ablation.
+	// The pivot index is on by default: each component's posting lists are
+	// sub-bucketed by its most selective column (see choosePivot), so
+	// candidates that conflict on that column are skipped without being
+	// iterated. Output is byte-identical either way; disable it on
+	// uniformly unselective schemas where no column qualifies as a pivot
+	// and the bucket bookkeeping is pure overhead.
+	NoPivot bool
 	// Progress, when non-nil, is called once per closed component, always
 	// from the assembling goroutine (never concurrently), in completion
 	// order. It must not block for long: with Workers > 1 it is on the
@@ -209,6 +218,12 @@ type ComponentProgress struct {
 	Total   int // components scheduled this run
 	Members int // outer-union tuples of the component that just closed
 	Closure int // closure tuples of that component
+	// PivotColumn is the output column the component's posting lists were
+	// bucketed by, or -1 when the component ran unbucketed (NoPivot,
+	// singleton, or no sufficiently selective column). PivotSkipped is the
+	// candidate iterations that bucketing skipped inside this component.
+	PivotColumn  int
+	PivotSkipped int
 }
 
 // ErrTupleBudget is returned when the closure exceeds Options.MaxTuples.
@@ -259,6 +274,10 @@ type Stats struct {
 	SeedReusedTuples int // closure tuples seeded from previous runs instead of re-derived (incremental re-closure)
 	StolenBatches    int // work-stealing engine: deque batches stolen by idle workers
 	Shards           int // signature shards of the work-stealing engine (0 when it did not run)
+	PivotColumn      int // pivot column of the largest component (re)closed this run; -1 when it ran unbucketed
+	PivotSkipped     int // candidate iterations skipped by pivot bucketing this run
+	PivotBuckets     int // (list, pivot-value) buckets across the posting indexes built or extended this run
+	PivotMinted      int // buckets minted mid-closure by merged tuples carrying (list, pivot) pairs absent at seeding
 	Subsumed         int // tuples removed by subsumption
 	Output           int
 	Elapsed          time.Duration
@@ -270,6 +289,9 @@ func (s *Stats) mergeWork(r Stats) {
 	s.Merges += r.Merges
 	s.MergeAttempts += r.MergeAttempts
 	s.StolenBatches += r.StolenBatches
+	s.PivotSkipped += r.PivotSkipped
+	s.PivotBuckets += r.PivotBuckets
+	s.PivotMinted += r.PivotMinted
 	if r.Shards > s.Shards {
 		s.Shards = r.Shards
 	}
@@ -303,6 +325,7 @@ func FullDisjunctionContext(ctx context.Context, tables []*table.Table, schema S
 		return nil, Canceled(err)
 	}
 	var stats Stats
+	stats.PivotColumn = -1
 	for _, t := range tables {
 		stats.InputTuples += len(t.Rows)
 	}
@@ -314,32 +337,38 @@ func FullDisjunctionContext(ctx context.Context, tables []*table.Table, schema S
 
 	var kept []Tuple
 	if opts.NoPartition {
+		pivot := pivotFor(opts, tuples, eng.nCols)
 		var closed []Tuple
 		var closedIdx *postingIndex
 		switch {
 		case opts.Workers > 1 && !opts.RoundParallel:
 			var err error
-			closed, err = closeConcurrent(ctx, eng, tuples, nil, opts.Workers, resolveShards(opts), bud, &stats)
+			closed, err = closeConcurrent(ctx, eng, tuples, nil, opts.Workers, resolveShards(opts), pivot, bud, &stats)
 			if err != nil {
 				return nil, err
 			}
 		case opts.Workers > 1:
-			cl := newClosure(eng, tuples, sigs, bud)
+			cl := newClosure(eng, tuples, sigs, bud, pivot)
 			if err := cl.runParallel(ctx, opts.Workers, nil, &stats); err != nil {
 				return nil, err
 			}
 			closed, closedIdx = cl.tuples, cl.idx
+			stats.PivotColumn, stats.PivotBuckets = cl.idx.pivot, cl.idx.buckets
 		default:
-			cl := newClosure(eng, tuples, sigs, bud)
+			cl := newClosure(eng, tuples, sigs, bud, pivot)
 			if err := cl.run(ctx, &stats); err != nil {
 				return nil, err
 			}
 			closed, closedIdx = cl.tuples, cl.idx
+			stats.PivotColumn, stats.PivotBuckets = cl.idx.pivot, cl.idx.buckets
 		}
 		stats.Closure = len(closed)
 		kept = eng.subsumeIndexed(closed, closedIdx)
 		if opts.Progress != nil {
-			opts.Progress(ComponentProgress{Done: 1, Total: 1, Members: stats.OuterUnion, Closure: stats.Closure})
+			opts.Progress(ComponentProgress{
+				Done: 1, Total: 1, Members: stats.OuterUnion, Closure: stats.Closure,
+				PivotColumn: stats.PivotColumn, PivotSkipped: stats.PivotSkipped,
+			})
 		}
 	} else {
 		comps := eng.partition(tuples)

@@ -30,13 +30,15 @@ func hubTables(total int) []*table.Table {
 }
 
 // hubEngines are the engine variants the hub benchmark and BENCH_fd.json
-// sweep: the sequential baseline, the round-based ablation, and the
-// work-stealing engine across worker counts.
+// sweep: the sequential baseline, its unbucketed ablation (the pivot
+// attempt-reduction gate compares the two), the round-based ablation, and
+// the work-stealing engine across worker counts.
 var hubEngines = []struct {
 	name string
 	opts fd.Options
 }{
 	{"seq", fd.Options{}},
+	{"seq-nopivot", fd.Options{NoPivot: true}},
 	{"round-par8", fd.Options{Workers: 8, RoundParallel: true}},
 	{"steal-par2", fd.Options{Workers: 2}},
 	{"steal-par4", fd.Options{Workers: 4}},
@@ -68,29 +70,42 @@ func BenchmarkClosureHub(b *testing.B) {
 	}
 }
 
-// hubBenchEngine is one engine's instrumented measurement.
+// hubBenchEngine is one engine's instrumented measurement. MergeAttempts
+// and PivotSkipped version the attempt-reduction claim alongside the
+// timing baseline: skipped candidates are exactly the iterations the
+// unbucketed engine would have spent failing the consistency check.
 type hubBenchEngine struct {
-	Name    string  `json:"name"`
-	Workers int     `json:"workers"`
-	MS      float64 `json:"ms"`
+	Name          string  `json:"name"`
+	Workers       int     `json:"workers"`
+	MS            float64 `json:"ms"`
+	MergeAttempts int     `json:"merge_attempts"`
+	PivotSkipped  int     `json:"pivot_skipped"`
 }
 
-// hubBenchReport is the BENCH_fd.json schema. The CI regression gate
-// compares Steal8VsRound against the checked-in baseline — a ratio, so the
-// gate transfers across machines of different absolute speed.
+// hubBenchReport is the BENCH_fd.json schema. The CI regression gates
+// compare Steal8VsRound and PivotAttemptReduction against the checked-in
+// baseline — ratios, so the gates transfer across machines of different
+// absolute speed.
 type hubBenchReport struct {
-	Benchmark     string           `json:"benchmark"`
-	GoMaxProcs    int              `json:"gomaxprocs"`
-	TotalTuples   int              `json:"total_tuples"`
-	HubMembers    int              `json:"hub_members"`
-	HubClosure    int              `json:"hub_closure"`
-	Engines       []hubBenchEngine `json:"engines"`
-	Steal8VsSeq   float64          `json:"steal8_vs_seq_speedup"`
-	Steal8VsRound float64          `json:"steal8_vs_round8_speedup"`
+	Benchmark   string           `json:"benchmark"`
+	GoMaxProcs  int              `json:"gomaxprocs"`
+	TotalTuples int              `json:"total_tuples"`
+	HubMembers  int              `json:"hub_members"`
+	HubClosure  int              `json:"hub_closure"`
+	PivotColumn string           `json:"pivot_column"`
+	Engines     []hubBenchEngine `json:"engines"`
+	Steal8VsSeq float64          `json:"steal8_vs_seq_speedup"`
+	// Steal8VsRound is the work-stealing engine's speedup over the
+	// round-based ablation at 8 workers; PivotAttemptReduction is the
+	// factor by which the pivot index cuts the sequential engine's merge
+	// attempts on the hub.
+	Steal8VsRound         float64 `json:"steal8_vs_round8_speedup"`
+	PivotAttemptReduction float64 `json:"pivot_attempt_reduction"`
 }
 
 // writeHubBenchJSON runs one instrumented pass per engine over the hub
-// fixture and records wall clock plus the derived speedups.
+// fixture and records wall clock, merge-attempt counters, and the derived
+// ratios.
 func writeHubBenchJSON(path string, tables []*table.Table, schema fd.Schema) error {
 	report := hubBenchReport{
 		Benchmark:   "closure_hub",
@@ -99,6 +114,7 @@ func writeHubBenchJSON(path string, tables []*table.Table, schema fd.Schema) err
 		HubMembers:  len(tables[0].Rows),
 	}
 	times := make(map[string]float64, len(hubEngines))
+	attempts := make(map[string]int, len(hubEngines))
 	for _, eng := range hubEngines {
 		start := time.Now()
 		res, err := fd.FullDisjunction(tables, schema, eng.opts)
@@ -107,16 +123,27 @@ func writeHubBenchJSON(path string, tables []*table.Table, schema fd.Schema) err
 		}
 		ms := float64(time.Since(start).Microseconds()) / 1000
 		times[eng.name] = ms
+		attempts[eng.name] = res.Stats.MergeAttempts
 		report.HubClosure = res.Stats.Closure
+		if p := res.Stats.PivotColumn; p >= 0 {
+			report.PivotColumn = schema.Columns[p]
+		}
 		workers := eng.opts.Workers
 		if workers < 1 {
 			workers = 1
 		}
-		report.Engines = append(report.Engines, hubBenchEngine{Name: eng.name, Workers: workers, MS: ms})
+		report.Engines = append(report.Engines, hubBenchEngine{
+			Name: eng.name, Workers: workers, MS: ms,
+			MergeAttempts: res.Stats.MergeAttempts,
+			PivotSkipped:  res.Stats.PivotSkipped,
+		})
 	}
 	if t := times["steal-par8"]; t > 0 {
 		report.Steal8VsSeq = times["seq"] / t
 		report.Steal8VsRound = times["round-par8"] / t
+	}
+	if a := attempts["seq"]; a > 0 {
+		report.PivotAttemptReduction = float64(attempts["seq-nopivot"]) / float64(a)
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -141,6 +168,20 @@ func TestHubFixtureSingleComponent(t *testing.T) {
 	}
 	if res.Stats.OuterUnion < fd.HubMinTuples {
 		t.Fatalf("hub fixture too small to engage intra-component parallelism: %d tuples", res.Stats.OuterUnion)
+	}
+	if res.Stats.PivotColumn < 0 {
+		t.Error("pivot index did not engage on the hub fixture")
+	}
+	flat, err := fd.FullDisjunction(tables, schema, fd.Options{NoPivot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flat.Table.Equal(res.Table) || !reflect.DeepEqual(flat.Prov, res.Prov) {
+		t.Error("unbucketed closure differs from pivoted closure on the hub")
+	}
+	if flat.Stats.MergeAttempts < 5*res.Stats.MergeAttempts {
+		t.Errorf("pivot attempt reduction below the benchmark gate: %d unbucketed vs %d pivoted",
+			flat.Stats.MergeAttempts, res.Stats.MergeAttempts)
 	}
 	for _, eng := range hubEngines {
 		if eng.opts.Workers == 0 {

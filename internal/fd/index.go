@@ -146,6 +146,7 @@ func (x *Index) UpdateContext(ctx context.Context, tables []*table.Table, schema
 	}
 
 	var stats Stats
+	stats.PivotColumn = -1
 	for _, t := range tables {
 		stats.InputTuples += len(t.Rows)
 	}
@@ -607,9 +608,17 @@ func (x *Index) close(ctx context.Context, touched []bool, opts Options, stats *
 	if err != nil {
 		return nil, err
 	}
+	largestDirty := 0
 	for di := range results {
 		r := &results[di]
 		stats.ReclosedTuples += r.closure
+		// Stats.PivotColumn describes the work this run performed, so it is
+		// the pivot of the largest component actually (re)closed — clean
+		// components did no probing.
+		if r.closure > largestDirty {
+			largestDirty = r.closure
+			stats.PivotColumn = r.stats.PivotColumn
+		}
 		gi := dirtyOf[di]
 		members := groups[gi]
 		c := &cachedComp{

@@ -202,8 +202,11 @@ type compResult struct {
 
 // newJobClosure copies a job's seed store into a fresh sequential closure
 // (the store grows and its provenance is folded in place, so the caller's
-// slices must stay untouched).
-func newJobClosure(e *engine, job closeJob, bud *budget) *closure {
+// slices must stay untouched). A fresh posting index is bucketed by the
+// pivot column chosen over the seed; a cached index (job.post) keeps the
+// pivot it was built with, except that NoPivot strips its buckets — the
+// flat lists stay valid either way.
+func newJobClosure(e *engine, job closeJob, opts Options, bud *budget) *closure {
 	tuples := job.tuples
 	if !job.owned {
 		tuples = make([]Tuple, len(job.tuples))
@@ -217,15 +220,18 @@ func newJobClosure(e *engine, job closeJob, bud *budget) *closure {
 		}
 	}
 	if job.post != nil {
+		if opts.NoPivot && job.post.pivot >= 0 {
+			job.post.pivot, job.post.byPivot, job.post.buckets = -1, nil, 0
+		}
 		return &closure{eng: e, tuples: tuples, sigs: sigs, idx: job.post, bud: bud}
 	}
-	return newClosure(e, tuples, sigs, bud)
+	return newClosure(e, tuples, sigs, bud, pivotFor(opts, tuples, e.nCols))
 }
 
 // closeOne closes one component job (complementation closure followed by
 // subsumption removal) against the shared budget, polling ctx inside the
 // closure.
-func (e *engine) closeOne(ctx context.Context, job closeJob, bud *budget) compResult {
+func (e *engine) closeOne(ctx context.Context, job closeJob, opts Options, bud *budget) compResult {
 	if len(job.tuples) == 1 {
 		// A singleton component is its own closure and its own maximal
 		// tuple; skip the index setup entirely (data-lake inputs produce
@@ -233,13 +239,14 @@ func (e *engine) closeOne(ctx context.Context, job closeJob, bud *budget) compRe
 		if bud.exceeded() {
 			return compResult{err: ErrTupleBudget}
 		}
-		return compResult{kept: job.tuples, store: job.tuples, sub: []int32{-1}, closure: 1}
+		return compResult{kept: job.tuples, store: job.tuples, sub: []int32{-1}, stats: Stats{PivotColumn: -1}, closure: 1}
 	}
-	cl := newJobClosure(e, job, bud)
-	var st Stats
+	cl := newJobClosure(e, job, opts, bud)
+	st := Stats{PivotColumn: cl.idx.pivot}
 	if err := cl.runFrom(ctx, job.work, &st); err != nil {
 		return compResult{err: err}
 	}
+	st.PivotBuckets = cl.idx.buckets
 	kept, sub := e.subsumeIncremental(cl.tuples, cl.idx, job.subSeed, job.subN)
 	return compResult{kept: kept, store: cl.tuples, sigs: cl.sigs, post: cl.idx, sub: sub, stats: st, closure: len(cl.tuples)}
 }
@@ -253,14 +260,17 @@ func (e *engine) closeOnePar(ctx context.Context, job closeJob, opts Options, bu
 	var st Stats
 	var closed []Tuple
 	if opts.RoundParallel {
-		cl := newJobClosure(e, job, bud)
+		cl := newJobClosure(e, job, opts, bud)
+		st.PivotColumn = cl.idx.pivot
 		if err := cl.runParallel(ctx, opts.Workers, job.work, &st); err != nil {
 			return compResult{err: err}
 		}
+		st.PivotBuckets = cl.idx.buckets
 		closed = cl.tuples
 	} else {
 		var err error
-		closed, err = closeConcurrent(ctx, e, job.tuples, job.work, opts.Workers, resolveShards(opts), bud, &st)
+		pivot := pivotFor(opts, job.tuples, e.nCols)
+		closed, err = closeConcurrent(ctx, e, job.tuples, job.work, opts.Workers, resolveShards(opts), pivot, bud, &st)
 		if err != nil {
 			return compResult{err: err}
 		}
@@ -302,7 +312,7 @@ func (e *engine) closeEach(ctx context.Context, jobs []closeJob, opts Options, b
 			if err := ctx.Err(); err != nil {
 				return Canceled(err)
 			}
-			r := e.closeOne(ctx, jobs[ci], bud)
+			r := e.closeOne(ctx, jobs[ci], opts, bud)
 			if r.err != nil {
 				return r.err
 			}
@@ -387,7 +397,7 @@ func (e *engine) closeEach(ctx context.Context, jobs []closeJob, opts Options, b
 		go func() {
 			defer wg.Done()
 			for ci := range feed {
-				out <- closedComp{ci: ci, r: e.closeOne(ctx, jobs[ci], bud)}
+				out <- closedComp{ci: ci, r: e.closeOne(ctx, jobs[ci], opts, bud)}
 			}
 		}()
 	}
@@ -413,7 +423,7 @@ func (e *engine) closeEach(ctx context.Context, jobs []closeJob, opts Options, b
 			fail(Canceled(err))
 			break
 		}
-		r := e.closeOne(ctx, jobs[ci], bud)
+		r := e.closeOne(ctx, jobs[ci], opts, bud)
 		if r.err != nil {
 			fail(r.err)
 			break
@@ -454,7 +464,10 @@ func (e *engine) closeSet(ctx context.Context, jobs []closeJob, opts Options, bu
 		stats.mergeWork(r.stats)
 		done++
 		if opts.Progress != nil {
-			opts.Progress(ComponentProgress{Done: done, Total: len(jobs), Members: jobs[ci].base, Closure: r.closure})
+			opts.Progress(ComponentProgress{
+				Done: done, Total: len(jobs), Members: jobs[ci].base, Closure: r.closure,
+				PivotColumn: r.stats.PivotColumn, PivotSkipped: r.stats.PivotSkipped,
+			})
 		}
 		return nil
 	})
@@ -486,6 +499,7 @@ func (e *engine) closeComponents(ctx context.Context, comps [][]Tuple, opts Opti
 		stats.Closure += r.closure
 		if r.closure > stats.LargestClose {
 			stats.LargestClose = r.closure
+			stats.PivotColumn = r.stats.PivotColumn
 		}
 		kept = append(kept, r.kept...)
 	}
