@@ -12,6 +12,9 @@
 //	fuzzyfd -progress ...                        # live phase/component progress
 //	fuzzyfd -stats ...                           # pivot columns and skip counts
 //	fuzzyfd -pivot=false ...                     # unbucketed closure ablation
+//	fuzzyfd -cpuprofile cpu.pb.gz ...            # write a CPU profile
+//	fuzzyfd -memprofile mem.pb.gz ...            # write a heap profile at exit
+//	fuzzyfd -pprof localhost:6060 ...            # serve net/http/pprof live
 //
 // With -session the files are integrated incrementally: the first two
 // form the initial set, then every further file is added to the running
@@ -39,10 +42,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -71,6 +79,9 @@ func main() {
 		prov     = flag.Bool("prov", false, "append a provenance column (source tuple IDs)")
 		jsonOut  = flag.Bool("json", false, "emit JSON Lines instead of a rendered table/CSV")
 		quiet    = flag.Bool("q", false, "suppress statistics on stderr")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		pprofSrv = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -81,6 +92,12 @@ func main() {
 	if *stream && (*session || *out != "" || *prov) {
 		log.Fatal("-stream writes JSONL to stdout and combines only with matcher/engine flags")
 	}
+
+	stopProfiles, err := startProfiles(*cpuProf, *memProf, *pprofSrv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProfiles()
 
 	// Ctrl-C / SIGTERM cancel the running integration at its next
 	// cancellation checkpoint. The first signal only cancels ctx; the
@@ -127,7 +144,6 @@ func main() {
 	opts = append(opts, fuzzyfd.WithProgress(tracker.observe))
 
 	var res *fuzzyfd.Result
-	var err error
 	switch {
 	case *stream:
 		res, err = fuzzyfd.StreamJSONL(ctx, os.Stdout, tables, opts...)
@@ -139,6 +155,7 @@ func main() {
 	if err != nil {
 		if errors.Is(err, fuzzyfd.ErrCanceled) {
 			tracker.reportCanceled(err)
+			stopProfiles() // os.Exit bypasses the deferred stop
 			os.Exit(130)
 		}
 		log.Fatal(err)
@@ -179,6 +196,62 @@ func main() {
 				res.MatchStats.Clusters, res.MatchStats.Merged, res.MatchStats.Rewrites)
 		}
 	}
+}
+
+// startProfiles wires up the optional profiling outputs: a CPU profile
+// covering the whole run, a heap profile captured at exit, and a live
+// net/http/pprof listener. The returned stop function flushes and closes
+// the profile files; it is idempotent, and the cancellation path calls it
+// explicitly because os.Exit bypasses defers. Error paths that log.Fatal
+// lose in-flight profiles — they abort before any work worth profiling.
+func startProfiles(cpu, mem, addr string) (func(), error) {
+	if addr != "" {
+		go func() {
+			log.Printf("pprof: serving on http://%s/debug/pprof/", addr)
+			if err := http.ListenAndServe(addr, nil); err != nil {
+				log.Printf("pprof: %v", err)
+			}
+		}()
+	}
+	var cpuFile *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				if err := cpuFile.Close(); err != nil {
+					log.Print(err)
+				}
+			}
+			if mem == "" {
+				return
+			}
+			f, err := os.Create(mem)
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Print(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Print(err)
+			}
+		})
+	}
+	return stop, nil
 }
 
 // progressTracker records the latest pipeline progress for cancellation

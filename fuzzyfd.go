@@ -208,10 +208,15 @@ func WithContentAlignment(useHeaders bool) Option {
 // is cheaper than scheduling run inline, mid-sized components are closed
 // whole across workers, and a hub component dominating the input — common
 // on data-lake workloads, where one component can hold most of the closure
-// work — is closed with every worker inside it by a work-stealing
-// concurrent engine (sharded signature index, per-worker deques, lock-free
-// candidate generation). Results are byte-identical to the sequential
-// engine for any worker count.
+// work — is closed with every worker inside it. Full closures of pivoted
+// components use a pivot-partitioned engine: disjoint per-pivot-value
+// groups close independently with group-local indexes and no shared
+// mutable state, so it beats the sequential engine even on one core
+// (strictly fewer merge attempts) and scales across cores. Incremental
+// re-closure inside a Session uses a work-stealing concurrent engine
+// (sharded signature index, per-worker deques, lock-free candidate
+// generation). Results are byte-identical to the sequential engine for
+// any worker count.
 func WithParallelFD(workers int) Option {
 	return func(o *options) error {
 		if workers < 1 {
@@ -222,8 +227,10 @@ func WithParallelFD(workers int) Option {
 	}
 }
 
-// WithFDShards sets the shard count of the concurrent closure's signature
-// index — the structure workers probe to deduplicate produced tuples. More
+// WithFDShards sets the shard count of the work-stealing closure's
+// signature index — the structure workers probe to deduplicate produced
+// tuples during incremental re-closure (full closures use the
+// pivot-partitioned engine, which has no shared index to shard). More
 // shards mean less lock contention and more (small) maps; the default,
 // autotuned from the worker count (8 shards per worker, bounded), is right
 // unless profiling shows shard-lock contention on very wide machines.
@@ -423,11 +430,18 @@ func StreamJSONL(ctx context.Context, w io.Writer, tables []*Table, opts ...Opti
 // (ReusedValues, DirtyComponents, ReclosedTuples) for how much work the
 // session skipped. Added tables must not be modified afterwards.
 //
-// A Session is safe for concurrent use: Add and Integrate serialize
-// against each other on an internal lock, while Tables, Stats, and Last
-// are read-side snapshots that proceed concurrently with each other.
-// Results are immutable once returned, so a reader may keep a Result while
-// other goroutines integrate on.
+// A Session is safe for concurrent use, and concurrent Integrate calls
+// genuinely overlap: only pipeline preparation and result publication
+// serialize on the session lock, while the Full Disjunction stage claims
+// components individually — concurrent Integrates whose new tables touch
+// disjoint components close them in parallel, and one whose delta touches
+// a component another call has claimed waits just for that component's
+// publication (Result.FDStats.PendingWaits counts these waits). Each
+// result reflects every table added before its assembly and stays
+// byte-identical to a serialized execution. Tables, Stats, and Last are
+// read-side snapshots that never block on a running integration. Results
+// are immutable once returned, so a reader may keep a Result while other
+// goroutines integrate on.
 type Session struct {
 	s *core.Session
 }

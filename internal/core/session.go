@@ -35,12 +35,18 @@ import (
 // Tables handed to Add are never mutated, but the session keeps references
 // to them; the caller must not modify them afterwards.
 //
-// A Session is safe for concurrent use: an internal RWMutex serializes the
-// mutating calls (Add, Integrate, IntegrateContext) against each other,
-// while the read-side calls (Tables, Integrations, Last, EmbeddingCache)
-// take only a read lock and proceed concurrently with each other. A reader
-// arriving during a long Integrate blocks until it finishes — snapshot
-// reads never observe half-updated session state.
+// A Session is safe for concurrent use. Concurrent Integrate calls
+// serialize their pipeline preparation — column alignment and the match
+// and rewrite caches — under the session lock, but run the FD stage, the
+// dominant cost, with the lock released: the fd.Index serializes its
+// ingest internally and closes disjoint dirty components in parallel, so
+// Integrates whose new tables touch disjoint components proceed
+// concurrently (see fd.Index; FDStats.PendingWaits on the result counts
+// the component waits a call did incur). Each call returns the Full
+// Disjunction of at least the tables it saw, possibly folded together
+// with input a concurrent call added. The read-side calls (Tables,
+// Integrations, Last, EmbeddingCache) take only a read lock and never
+// observe half-updated session state.
 type Session struct {
 	cfg   Config
 	emb   embed.Embedder
@@ -135,21 +141,23 @@ func (s *Session) Integrate() (*Result, error) { return s.IntegrateContext(conte
 // deadlines are observed at phase boundaries, inside the match phase, and
 // inside the FD closure (see IntegrateContext at package level). The
 // session stays consistent after a canceled run — cached state the run did
-// not reach is kept, the FD index discards its partially ingested delta —
-// so a later call with a live context completes normally.
+// not reach is kept, and the FD index keeps its ingested delta marked
+// dirty — so a later call with a live context completes normally.
 func (s *Session) IntegrateContext(ctx context.Context) (*Result, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	start := time.Now()
+	s.mu.Lock()
 	work, schema, res, err := s.prepare(ctx)
+	s.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
 
 	// Stage 3: incremental equi-join Full Disjunction over the rewritten
-	// view. The index verifies that previously ingested rows still hold
-	// (a matching round may have re-elected representatives) and closes
-	// only dirty components.
+	// view, with the session lock released — the index coordinates
+	// concurrent Updates itself, closing disjoint dirty components in
+	// parallel. The index verifies that previously ingested rows still
+	// hold (a matching round may have re-elected representatives) and
+	// closes only dirty components.
 	fdStart := time.Now()
 	s.emit(ProgressEvent{Phase: PhaseFD})
 	fdRes, err := s.idx.UpdateContext(ctx, work, schema, s.cfg.fdOptions())
@@ -162,8 +170,11 @@ func (s *Session) IntegrateContext(ctx context.Context) (*Result, error) {
 	res.Timings.FD = time.Since(fdStart)
 	res.Timings.Total = time.Since(start)
 	s.emit(ProgressEvent{Phase: PhaseFD, Done: true, Elapsed: res.Timings.FD})
+
+	s.mu.Lock()
 	s.integrations++
 	s.last = res
+	s.mu.Unlock()
 	return res, nil
 }
 

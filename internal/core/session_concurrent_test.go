@@ -1,0 +1,232 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fuzzyfd/internal/table"
+)
+
+// Two-component fixture for the concurrent-session tests: the k1 tables
+// chain into one component, the k2 tables into another, and the column
+// names never overlap, so the two stay disjoint under name alignment no
+// matter what is added to either side.
+func twoCompTables() (compA, compB []*table.Table) {
+	a1 := table.New("A1", "k1", "a")
+	a1.MustAppendRow(table.S("x1"), table.S("a1"))
+	a2 := table.New("A2", "k1", "b")
+	a2.MustAppendRow(table.S("x1"), table.S("b1"))
+	b1 := table.New("B1", "k2", "c")
+	b1.MustAppendRow(table.S("y1"), table.S("c1"))
+	b2 := table.New("B2", "k2", "d")
+	b2.MustAppendRow(table.S("y1"), table.S("d1"))
+	return []*table.Table{a1, a2}, []*table.Table{b1, b2}
+}
+
+func deltaTable(name, keyCol, key, valCol, val string) *table.Table {
+	t := table.New(name, keyCol, valCol)
+	t.MustAppendRow(table.S(key), table.S(val))
+	return t
+}
+
+// oneShot integrates tables in order in a fresh session — the serialized
+// oracle the concurrent results must match byte for byte.
+func oneShot(t *testing.T, tables []*table.Table) *Result {
+	t.Helper()
+	s := NewSession(Config{Method: MethodEquiFD})
+	s.Add(tables...)
+	res, err := s.Integrate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSessionConcurrentDisjointIntegrates: while one IntegrateContext is
+// blocked mid-closure (its component claims held, the session and index
+// locks released), a concurrent IntegrateContext over a delta touching a
+// disjoint component closes its own component — observed through the
+// component-progress callback firing while the first call is still held —
+// and both calls return results byte-identical to a serialized one-shot
+// integration of the full set.
+func TestSessionConcurrentDisjointIntegrates(t *testing.T) {
+	compA, compB := twoCompTables()
+
+	var armed atomic.Bool
+	var componentEvents atomic.Int32
+	gate := make(chan struct{})
+	u1AtGate := make(chan struct{})
+	u2Closed := make(chan struct{})
+	var closeOnce sync.Once
+	cfg := Config{
+		Method: MethodEquiFD,
+		Progress: func(ev ProgressEvent) {
+			if !armed.Load() || ev.Phase != PhaseFD || ev.Component < 1 {
+				return
+			}
+			switch componentEvents.Add(1) {
+			case 1:
+				// U1's dirty component (A) just closed; hold its claim open.
+				close(u1AtGate)
+				<-gate
+			case 2:
+				// U2's dirty component (B) closed while U1 is still held.
+				closeOnce.Do(func() { close(u2Closed) })
+			}
+		},
+	}
+	s := NewSession(cfg)
+	s.Add(compA...)
+	s.Add(compB...)
+	seed, err := s.Integrate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seed.FDStats.PendingWaits != 0 {
+		t.Errorf("serial Integrate reported %d pending waits", seed.FDStats.PendingWaits)
+	}
+	armed.Store(true)
+
+	deltaA := deltaTable("A3", "k1", "x1", "e", "e1")
+	deltaB := deltaTable("B3", "k2", "y1", "f", "f1")
+
+	type outcome struct {
+		res *Result
+		err error
+	}
+	u1 := make(chan outcome, 1)
+	s.Add(deltaA)
+	go func() {
+		res, err := s.Integrate()
+		u1 <- outcome{res, err}
+	}()
+	select {
+	case <-u1AtGate:
+	case <-time.After(30 * time.Second):
+		t.Fatal("first Integrate never reached its component closure")
+	}
+
+	u2 := make(chan outcome, 1)
+	s.Add(deltaB)
+	go func() {
+		res, err := s.Integrate()
+		u2 <- outcome{res, err}
+	}()
+	select {
+	case <-u2Closed:
+		// The disjoint component closed while U1 held its claims: the two
+		// closures overlapped in time instead of serializing.
+	case <-time.After(30 * time.Second):
+		t.Fatal("concurrent Integrate over a disjoint component did not close it while the first call held its claims")
+	}
+	close(gate)
+
+	o1, o2 := <-u1, <-u2
+	if o1.err != nil || o2.err != nil {
+		t.Fatalf("concurrent integrates failed: %v / %v", o1.err, o2.err)
+	}
+
+	// Both calls assembled after both deltas were ingested, so both must
+	// equal the serialized one-shot result over the full set.
+	all := append(append(append([]*table.Table{}, compA...), compB...), deltaA, deltaB)
+	want := oneShot(t, all)
+	for name, res := range map[string]*Result{"first": o1.res, "second": o2.res} {
+		if !res.Table.Equal(want.Table) || !reflect.DeepEqual(res.Prov, want.Prov) {
+			t.Errorf("%s concurrent Integrate differs from the serialized one-shot result", name)
+		}
+	}
+}
+
+// TestSessionConcurrentOverlappingIntegrates: a concurrent IntegrateContext
+// whose delta touches a component another call has claimed waits for its
+// publication (FDStats.PendingWaits observes the wait), and both calls
+// still return the serialized one-shot result byte for byte.
+func TestSessionConcurrentOverlappingIntegrates(t *testing.T) {
+	compA, _ := twoCompTables()
+
+	var armed atomic.Bool
+	var componentEvents atomic.Int32
+	gate := make(chan struct{})
+	u1AtGate := make(chan struct{})
+	fdStarts := make(chan struct{}, 4)
+	cfg := Config{
+		Method: MethodEquiFD,
+		Progress: func(ev ProgressEvent) {
+			if !armed.Load() || ev.Phase != PhaseFD {
+				return
+			}
+			if ev.Component < 1 {
+				if !ev.Done {
+					fdStarts <- struct{}{}
+				}
+				return
+			}
+			if componentEvents.Add(1) == 1 {
+				close(u1AtGate)
+				<-gate
+			}
+		},
+	}
+	s := NewSession(cfg)
+	s.Add(compA...)
+	if _, err := s.Integrate(); err != nil {
+		t.Fatal(err)
+	}
+	armed.Store(true)
+
+	type outcome struct {
+		res *Result
+		err error
+	}
+	delta1 := deltaTable("A3", "k1", "x1", "e", "e1")
+	delta2 := deltaTable("A4", "k1", "x1", "f", "f1")
+
+	u1 := make(chan outcome, 1)
+	s.Add(delta1)
+	go func() {
+		res, err := s.Integrate()
+		u1 <- outcome{res, err}
+	}()
+	select {
+	case <-u1AtGate:
+		<-fdStarts // drain U1's FD phase start
+	case <-time.After(30 * time.Second):
+		t.Fatal("first Integrate never reached its component closure")
+	}
+
+	u2 := make(chan outcome, 1)
+	s.Add(delta2)
+	go func() {
+		res, err := s.Integrate()
+		u2 <- outcome{res, err}
+	}()
+	// U2's delta dirties the claimed component, so it cannot finish before
+	// U1 publishes; give it a moment to reach the wait so PendingWaits
+	// observes it, then release U1.
+	select {
+	case <-fdStarts:
+	case <-time.After(30 * time.Second):
+		t.Fatal("second Integrate never reached its FD stage")
+	}
+	time.Sleep(300 * time.Millisecond)
+	close(gate)
+
+	o1, o2 := <-u1, <-u2
+	if o1.err != nil || o2.err != nil {
+		t.Fatalf("concurrent integrates failed: %v / %v", o1.err, o2.err)
+	}
+	if o2.res.FDStats.PendingWaits == 0 {
+		t.Error("overlapping concurrent Integrate reported no pending waits")
+	}
+
+	all := append(append([]*table.Table{}, compA...), delta1, delta2)
+	want := oneShot(t, all)
+	for name, res := range map[string]*Result{"first": o1.res, "second": o2.res} {
+		if !res.Table.Equal(want.Table) || !reflect.DeepEqual(res.Prov, want.Prov) {
+			t.Errorf("%s concurrent Integrate differs from the serialized one-shot result", name)
+		}
+	}
+}

@@ -66,11 +66,15 @@ type Tuple struct {
 }
 
 // engine is the shared immutable state of one Full Disjunction
-// computation: the value dictionary built during the outer union and the
+// computation: a frozen snapshot of the value dictionary and the
 // integrated schema width. All symbol decoding and value-order comparisons
-// go through it.
+// go through it. Holding an intern.Snapshot rather than the live Dict is
+// load-bearing for concurrency: closures, subsumption, and materialization
+// read the engine outside any lock, while the owning Index may keep
+// interning new values for concurrent Updates — snapshot reads never race
+// with those appends.
 type engine struct {
-	dict  *intern.Dict
+	dict  intern.Snapshot
 	nCols int
 }
 
@@ -275,10 +279,12 @@ type Stats struct {
 	StolenBatches    int // work-stealing engine: deque batches stolen by idle workers
 	Shards           int // signature shards of the work-stealing engine (0 when it did not run)
 	PivotColumn      int // pivot column of the largest component (re)closed this run; -1 when it ran unbucketed
+	PivotGroups      int // disjoint pivot-value groups closed by the pivot-partitioned hub engine (0 when it did not run)
 	PivotSkipped     int // candidate iterations skipped by pivot bucketing this run
 	PivotBuckets     int // (list, pivot-value) buckets across the posting indexes built or extended this run
 	PivotMinted      int // buckets minted mid-closure by merged tuples carrying (list, pivot) pairs absent at seeding
 	Subsumed         int // tuples removed by subsumption
+	PendingWaits     int // times an incremental Update waited on components claimed by concurrent Updates (0 for one-shot runs and disjoint concurrent Updates)
 	Output           int
 	Elapsed          time.Duration
 }
@@ -289,6 +295,7 @@ func (s *Stats) mergeWork(r Stats) {
 	s.Merges += r.Merges
 	s.MergeAttempts += r.MergeAttempts
 	s.StolenBatches += r.StolenBatches
+	s.PivotGroups += r.PivotGroups
 	s.PivotSkipped += r.PivotSkipped
 	s.PivotBuckets += r.PivotBuckets
 	s.PivotMinted += r.PivotMinted
@@ -341,6 +348,12 @@ func FullDisjunctionContext(ctx context.Context, tables []*table.Table, schema S
 		var closed []Tuple
 		var closedIdx *postingIndex
 		switch {
+		case opts.Workers > 1 && !opts.RoundParallel && pivot >= 0:
+			var err error
+			closed, err = closePivotPar(ctx, eng, tuples, pivot, opts.Workers, bud, &stats)
+			if err != nil {
+				return nil, err
+			}
 		case opts.Workers > 1 && !opts.RoundParallel:
 			var err error
 			closed, err = closeConcurrent(ctx, eng, tuples, nil, opts.Workers, resolveShards(opts), pivot, bud, &stats)
@@ -363,7 +376,11 @@ func FullDisjunctionContext(ctx context.Context, tables []*table.Table, schema S
 			stats.PivotColumn, stats.PivotBuckets = cl.idx.pivot, cl.idx.buckets
 		}
 		stats.Closure = len(closed)
-		kept = eng.subsumeIndexed(closed, closedIdx)
+		subWorkers := opts.Workers
+		if subWorkers < 1 || opts.RoundParallel {
+			subWorkers = 1
+		}
+		kept, _ = eng.subsumeIncremental(closed, closedIdx, nil, 0, subWorkers)
 		if opts.Progress != nil {
 			opts.Progress(ComponentProgress{
 				Done: 1, Total: 1, Members: stats.OuterUnion, Closure: stats.Closure,
@@ -390,7 +407,8 @@ func FullDisjunctionContext(ctx context.Context, tables []*table.Table, schema S
 // each distinct cell value into a fresh dictionary, and deduplicates by
 // cell signature, unioning provenance.
 func outerUnion(tables []*table.Table, schema Schema) (*engine, []Tuple, *sigIndex) {
-	eng := &engine{dict: intern.NewDict(), nCols: len(schema.Columns)}
+	dict := intern.NewDict()
+	eng := &engine{nCols: len(schema.Columns)}
 	var tuples []Tuple
 	sigs := newSigIndex()
 	for ti, t := range tables {
@@ -398,7 +416,7 @@ func outerUnion(tables []*table.Table, schema Schema) (*engine, []Tuple, *sigInd
 			cells := make([]uint32, eng.nCols) // zero-valued = all null
 			for ci, cell := range row {
 				if !cell.IsNull {
-					cells[schema.Mapping[ti][ci]] = eng.dict.Intern(cell.Val)
+					cells[schema.Mapping[ti][ci]] = dict.Intern(cell.Val)
 				}
 			}
 			tid := TID{Table: ti, Row: ri}
@@ -411,6 +429,9 @@ func outerUnion(tables []*table.Table, schema Schema) (*engine, []Tuple, *sigInd
 			tuples = append(tuples, Tuple{Cells: cells, Prov: []TID{tid}})
 		}
 	}
+	// Interning is complete: closures never mint symbols (merged cells reuse
+	// existing ones), so the engine freezes the dictionary here.
+	eng.dict = dict.Snapshot()
 	return eng, tuples, sigs
 }
 

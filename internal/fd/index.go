@@ -3,6 +3,7 @@ package fd
 import (
 	"context"
 	"slices"
+	"sync"
 	"time"
 
 	"fuzzyfd/internal/intern"
@@ -34,10 +35,25 @@ import (
 // scratch; the dictionary survives rebuilds, so interned symbols and the
 // embedding work keyed on them stay amortized.
 //
-// An Index is not safe for concurrent use.
+// An Index is safe for concurrent use. Updates serialize their ingest and
+// bookkeeping under a store lock, but each Update claims the dirty
+// components it is about to close and runs the closures — the dominant
+// cost — with the lock released. Concurrent Updates whose deltas touch
+// disjoint components therefore close in parallel; Updates needing a
+// component another Update has claimed wait for its publication
+// (Stats.PendingWaits counts those waits). Each Update is linearized at
+// its ingest: its result reflects at least its own input, plus any input
+// concurrent Updates ingested before it assembled. An Update handed a
+// stale view of the integration set — fewer tables or rows than a
+// concurrent Update already ingested, as happens when session calls race —
+// adopts the newer accumulated state rather than rebuilding, and returns
+// its Full Disjunction.
 type Index struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
 	dict    *intern.Dict
-	eng     *engine
+	nCols   int
 	schema  Schema
 	started bool
 
@@ -49,9 +65,24 @@ type Index struct {
 	post *postingIndex // posting lists over base, used to partition the delta
 	uf   *unionFind    // component forest over base
 
+	// dirty marks base tuples that are new or whose provenance grew since
+	// their component was last closed. Claiming a component for closure
+	// clears its members' marks; a failed closure (budget, cancellation)
+	// restores them, so the next Update re-closes from the base tuples.
+	dirty []bool
+	// claimed marks base tuples whose component a concurrent Update is
+	// closing right now (lock released); other Updates needing the
+	// component wait for its publication.
+	claimed []bool
+	claims  int // claimed component groups outstanding across all Updates
+	// resetWanted gates new claims while an Update waits to rebuild the
+	// store: claim-holding Updates finish and publish, new claims hold off,
+	// and the drain terminates.
+	resetWanted bool
+
 	lastTables []*table.Table // per table, the object seen last Update
 
-	comps    map[int]*cachedComp // by union-find root at last Update
+	comps    map[int]*cachedComp // by smallest member base id at last close
 	rebuilds int                 // verification failures that forced a full rebuild
 }
 
@@ -92,28 +123,44 @@ type cachedComp struct {
 // Update and may only be extended (new output columns appended) by later
 // ones; any other schema change triggers a rebuild.
 func NewIndex() *Index {
-	dict := intern.NewDict()
-	return &Index{
-		dict:  dict,
-		eng:   &engine{dict: dict},
+	x := &Index{
+		dict:  intern.NewDict(),
 		comps: make(map[int]*cachedComp),
 	}
+	x.cond = sync.NewCond(&x.mu)
+	return x
 }
 
 // Values reports the size of the session dictionary (distinct interned
 // values across all Updates, including rebuilt-away ones).
-func (x *Index) Values() int { return x.dict.Len() }
+func (x *Index) Values() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.dict.Len()
+}
 
 // BaseTuples reports the current outer-union size.
-func (x *Index) BaseTuples() int { return len(x.base) }
+func (x *Index) BaseTuples() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return len(x.base)
+}
 
 // Rebuilds reports how many Updates had to rebuild the tuple store because
 // previously ingested rows no longer projected to their recorded tuples.
-func (x *Index) Rebuilds() int { return x.rebuilds }
+func (x *Index) Rebuilds() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.rebuilds
+}
 
 // Snapshot captures the current dictionary state; symbols in tuples held
 // by the caller remain decodable through it regardless of later Updates.
-func (x *Index) Snapshot() intern.Snapshot { return x.dict.Snapshot() }
+func (x *Index) Snapshot() intern.Snapshot {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.dict.Snapshot()
+}
 
 // Update ingests the accumulated integration set (all tables of the
 // session, in a stable order; previously seen tables must come first and
@@ -125,11 +172,12 @@ func (x *Index) Update(tables []*table.Table, schema Schema, opts Options) (*Res
 }
 
 // UpdateContext is Update under a context. Cancellation is observed at
-// component boundaries and inside component closures (see
-// FullDisjunctionContext); a canceled Update drops the tuple store — the
-// delta was partially ingested but the component cache was not refreshed —
-// so the next Update rebuilds from the tables (the dictionary survives, as
-// with a tuple-budget abort).
+// component boundaries, inside component closures (see
+// FullDisjunctionContext), and while waiting on components claimed by
+// concurrent Updates. A canceled Update keeps the ingested delta: its
+// dirty marks persist, so the next Update simply re-closes the affected
+// components — from their base tuples where the cancellation consumed a
+// cached closure — without rebuilding the store.
 func (x *Index) UpdateContext(ctx context.Context, tables []*table.Table, schema Schema, opts Options) (*Result, error) {
 	start := time.Now()
 	if err := schema.Validate(tables); err != nil {
@@ -151,48 +199,132 @@ func (x *Index) UpdateContext(ctx context.Context, tables []*table.Table, schema
 		stats.InputTuples += len(t.Rows)
 	}
 
+	kept, eng, outSchema, err := x.update(ctx, tables, schema, opts, &stats)
+	if err != nil {
+		return nil, err
+	}
+	kept = eng.foldAllNull(kept)
+	stats.Subsumed = stats.Closure - len(kept)
+	stats.Elapsed = time.Since(start)
+	return eng.materialize(kept, outSchema, stats), nil
+}
+
+// update runs the locked stages of an Update — reconcile, ingest, and the
+// claim/close/publish fixpoint — and returns the assembled kept tuples
+// with the engine and schema to materialize them under. The lock is held
+// throughout except while closing this Update's claimed components.
+func (x *Index) update(ctx context.Context, tables []*table.Table, schema Schema, opts Options, stats *Stats) ([]Tuple, *engine, Schema, error) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+
+	// Cancellation must also interrupt condition waits: a helper goroutine
+	// broadcasts once the context dies, and every wait loop rechecks
+	// ctx.Err() on wakeup.
+	if done := ctx.Done(); done != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-done:
+				x.mu.Lock()
+				x.cond.Broadcast()
+				x.mu.Unlock()
+			case <-stop:
+			}
+		}()
+	}
+
 	// Stage 1: reconcile the schema, then verify that every previously
-	// ingested row still projects to its recorded tuple. Failure of either
-	// check rebuilds the store (the dictionary survives).
-	if x.started && !x.schemaExtends(tables, schema) {
+	// ingested row still projects to its recorded tuple. A stale view of
+	// the set (a concurrent Update ingested more first) adopts the newer
+	// accumulated state instead; genuine drift rebuilds the store after
+	// outstanding claims drain (the dictionary survives).
+	for {
+		if err := ctx.Err(); err != nil {
+			x.clearResetWanted()
+			return nil, nil, Schema{}, Canceled(err)
+		}
+		x.adoptStale(&tables, &schema)
+		if !x.started || x.schemaExtends(tables, schema) {
+			x.widen(len(schema.Columns))
+			if x.verify(tables, schema) {
+				break
+			}
+		}
+		if x.claims > 0 {
+			x.resetWanted = true
+			stats.PendingWaits++
+			x.cond.Wait()
+			continue
+		}
+		x.clearResetWanted()
 		x.reset()
 	}
-	x.widen(len(schema.Columns))
-	if !x.verify(tables, schema) {
-		x.reset()
-		x.widen(len(schema.Columns))
-	}
+	x.clearResetWanted()
 	x.schema = schema
 	x.started = true
 
 	// Stage 2: ingest the delta. New tuples dedup against the signature
 	// index (re-deduplication dirties the owning component) or join the
-	// forest by probing the posting lists for mergeable neighbors.
-	touched := x.ingest(tables, schema, &stats)
-	x.lastTables = append(x.lastTables[:0], tables...)
+	// forest by probing the posting lists for mergeable neighbors. Dirty
+	// marks persist on the store until a closure claims them.
+	x.ingest(tables, schema, stats)
+	x.lastTables = append([]*table.Table(nil), tables...)
 
-	// Stage 3: regroup the forest and close the dirty components. On
-	// failure (tuple budget, cancellation) the store has already ingested
-	// the delta but the component cache was not refreshed — the touched
-	// marks would be lost and a later Update could reuse stale cached
-	// results, silently dropping merged provenance. Drop the store (the
-	// dictionary survives) so the next Update rebuilds from the tables.
-	kept, err := x.close(ctx, touched, opts, &stats)
+	// Stage 3: claim and close dirty components until every component is
+	// clean and cached, then assemble.
+	kept, err := x.closeLocked(ctx, opts, stats)
 	if err != nil {
-		x.reset()
-		return nil, err
+		return nil, nil, Schema{}, err
 	}
 
-	kept = x.eng.foldAllNull(kept)
-	stats.Subsumed = stats.Closure - len(kept)
+	// Materialization runs after the lock is released; snapshot everything
+	// it needs while the state is still consistent.
+	eng := &engine{dict: x.dict.Snapshot(), nCols: x.nCols}
 	stats.OuterUnion = len(x.base)
 	stats.Values = x.dict.Len()
-	stats.Elapsed = time.Since(start)
-	return x.eng.materialize(kept, schema, stats), nil
+	return kept, eng, x.schema, nil
+}
+
+// clearResetWanted lifts the claim gate and wakes Updates held at it.
+// Callers hold x.mu.
+func (x *Index) clearResetWanted() {
+	if x.resetWanted {
+		x.resetWanted = false
+		x.cond.Broadcast()
+	}
+}
+
+// adoptStale detects an input older than what the index has already
+// ingested — fewer tables, or fewer rows in an ingested table — and adopts
+// the accumulated state's tables and schema instead. Session calls race:
+// an Update prepared against a shorter set can reach the index after a
+// concurrent Update ingested a longer one, and rebuilding for it would
+// throw the newer data away. Adoption linearizes the stale Update after
+// the newer one: it returns the Full Disjunction of the newer view.
+// Callers hold x.mu.
+func (x *Index) adoptStale(tables *[]*table.Table, schema *Schema) {
+	if len(x.rowsSeen) == 0 || len(x.lastTables) < len(x.rowsSeen) {
+		return
+	}
+	stale := len(*tables) < len(x.rowsSeen)
+	if !stale {
+		for ti, n := range x.rowsSeen {
+			if len((*tables)[ti].Rows) < n {
+				stale = true
+				break
+			}
+		}
+	}
+	if stale {
+		*tables = x.lastTables
+		*schema = x.schema
+	}
 }
 
 // reset drops the tuple store, indexes, and cached components, keeping the
 // dictionary (append-only by contract; stale symbols are harmless).
+// Callers hold x.mu and have drained outstanding claims.
 func (x *Index) reset() {
 	x.base = nil
 	x.sigs = nil
@@ -202,7 +334,9 @@ func (x *Index) reset() {
 	x.rowsSeen = nil
 	x.rowBase = nil
 	x.lastTables = nil
-	x.eng.nCols = 0
+	x.dirty = nil
+	x.claimed = nil
+	x.nCols = 0
 	x.started = false
 	x.rebuilds++
 }
@@ -228,19 +362,41 @@ func (x *Index) schemaExtends(tables []*table.Table, schema Schema) bool {
 	return true
 }
 
+// widenComp brings one cached component to nCols output columns. Cell
+// hashes cover the full width and the next slow-path seeding relays the
+// store, so the cached closure indexes go stale. Widening replaces cell
+// slices rather than mutating them, so tuple headers snapshotted by
+// concurrent Updates keep their (narrower) cells untouched.
+func widenComp(c *cachedComp, nCols int) {
+	widenCells := func(cells []uint32) []uint32 {
+		nc := make([]uint32, nCols)
+		copy(nc, cells)
+		return nc
+	}
+	for k := range c.kept {
+		c.kept[k].Cells = widenCells(c.kept[k].Cells)
+	}
+	for k := range c.store {
+		c.store[k].Cells = widenCells(c.store[k].Cells)
+	}
+	c.sigs, c.post = nil, nil
+}
+
 // widen brings the store to nCols output columns: tuples gain trailing
 // null cells, the posting index gains empty columns, and the signature
 // index is rebuilt (cell hashes cover the full width). Initializes the
-// store on first use or after a reset.
+// store on first use or after a reset. Callers hold x.mu; components
+// claimed by in-flight closures have nil stores here and are width-fixed
+// at publication instead.
 func (x *Index) widen(nCols int) {
 	if x.post == nil {
-		x.eng.nCols = nCols
+		x.nCols = nCols
 		x.sigs = newSigIndex()
 		x.post = newPostingIndex(nCols)
 		x.uf = newUnionFind(0)
 		return
 	}
-	if nCols == x.eng.nCols {
+	if nCols == x.nCols {
 		return
 	}
 	widenCells := func(cells []uint32) []uint32 {
@@ -252,15 +408,7 @@ func (x *Index) widen(nCols int) {
 		x.base[i].Cells = widenCells(x.base[i].Cells)
 	}
 	for _, c := range x.comps {
-		for k := range c.kept {
-			c.kept[k].Cells = widenCells(c.kept[k].Cells)
-		}
-		for k := range c.store {
-			c.store[k].Cells = widenCells(c.store[k].Cells)
-		}
-		// Cell hashes cover the full width and the next slow-path seeding
-		// relays the store, so the cached closure indexes go stale.
-		c.sigs, c.post = nil, nil
+		widenComp(c, nCols)
 	}
 	for len(x.post.byCol) < nCols {
 		x.post.byCol = append(x.post.byCol, make(map[uint32][]int))
@@ -269,7 +417,7 @@ func (x *Index) widen(nCols int) {
 	for i := range x.base {
 		x.sigs.add(x.base[i].Cells, i)
 	}
-	x.eng.nCols = nCols
+	x.nCols = nCols
 }
 
 // verify checks that every previously ingested row still projects to its
@@ -284,7 +432,7 @@ func (x *Index) verify(tables []*table.Table, schema Schema) bool {
 	if len(x.rowsSeen) == 0 {
 		return true
 	}
-	scratch := make([]uint32, x.eng.nCols)
+	scratch := make([]uint32, x.nCols)
 	for ti := range x.rowsSeen {
 		t := tables[ti]
 		if ti < len(x.lastTables) && x.lastTables[ti] == t {
@@ -326,11 +474,10 @@ func (x *Index) verify(tables []*table.Table, schema Schema) bool {
 
 // ingest projects and interns every not-yet-seen row, deduplicating
 // against the signature index and unioning genuinely new tuples into the
-// component forest via posting-list probes. Returns the touched set: base
-// tuple ids that are new or whose provenance grew, the seeds of dirty
-// components.
-func (x *Index) ingest(tables []*table.Table, schema Schema, stats *Stats) []bool {
-	touched := make([]bool, len(x.base))
+// component forest via posting-list probes. Base tuples that are new or
+// whose provenance grew get persistent dirty marks — the seeds of dirty
+// components. Callers hold x.mu.
+func (x *Index) ingest(tables []*table.Table, schema Schema, stats *Stats) {
 	mark := uint32(x.dict.Len())
 	reused := make([]bool, mark+1)
 	var scratch stampSet
@@ -342,7 +489,7 @@ func (x *Index) ingest(tables []*table.Table, schema Schema, stats *Stats) []boo
 	for ti, t := range tables {
 		mapping := schema.Mapping[ti]
 		for ri := x.rowsSeen[ti]; ri < len(t.Rows); ri++ {
-			cells := make([]uint32, x.eng.nCols)
+			cells := make([]uint32, x.nCols)
 			for ci, cell := range t.Rows[ri] {
 				if cell.IsNull {
 					continue
@@ -358,14 +505,15 @@ func (x *Index) ingest(tables []*table.Table, schema Schema, stats *Stats) []boo
 			at, hash, ok := x.sigs.find(cells, x.base)
 			if ok {
 				x.base[at].Prov = mergeProv(x.base[at].Prov, []TID{tid})
-				touched[at] = true
+				x.dirty[at] = true
 				x.rowBase[ti] = append(x.rowBase[ti], at)
 				continue
 			}
 			id := len(x.base)
 			x.sigs.addHashed(hash, id)
 			x.base = append(x.base, Tuple{Cells: cells, Prov: []TID{tid}})
-			touched = append(touched, true)
+			x.dirty = append(x.dirty, true)
+			x.claimed = append(x.claimed, false)
 			x.uf.grow(id + 1)
 			scratch.next(id + 1)
 			x.post.candidates(id, cells, &scratch, func(j int) {
@@ -378,7 +526,6 @@ func (x *Index) ingest(tables []*table.Table, schema Schema, stats *Stats) []boo
 		}
 		x.rowsSeen[ti] = len(t.Rows)
 	}
-	return touched
 }
 
 // seedDirty builds the re-closure job for one dirty component group: the
@@ -522,18 +669,10 @@ func (x *Index) seedSlow(members []int, ownerOf []*cachedComp, touched []bool) (
 	return closeJob{tuples: seed, base: len(members), work: work, owned: true, sigs: sigs}, basePos
 }
 
-// close regroups the forest into components (ordered by smallest member,
-// exactly as the one-shot partitioner), reuses the cached kept tuples of
-// clean components, and re-closes the dirty ones incrementally: a dirty
-// component's store is seeded with the cached closures of the previous
-// components it absorbed, and only the touched base tuples (new, or with
-// provenance grown by re-deduplication) are put on the worklist — pairs
-// among the reused closure tuples were already examined last Update, and
-// the partition confinement argument guarantees no mergeable pair ever
-// crosses the previous component boundaries without involving a new
-// tuple. The returned tuples are fresh copies, safe to fold, sort, and
-// materialize without disturbing the cache.
-func (x *Index) close(ctx context.Context, touched []bool, opts Options, stats *Stats) ([]Tuple, error) {
+// regroup derives the current component groups from the forest, ordered
+// by smallest member — exactly as the one-shot partitioner. Callers hold
+// x.mu.
+func (x *Index) regroup() [][]int {
 	roots := make(map[int]int, len(x.comps)+1)
 	var groups [][]int
 	for i := range x.base {
@@ -546,98 +685,182 @@ func (x *Index) close(ctx context.Context, touched []bool, opts Options, stats *
 		}
 		groups[gi] = append(groups[gi], i)
 	}
-	stats.Components = len(groups)
+	return groups
+}
 
-	// ownerOf maps each base tuple to the cached component that held it
-	// last Update, to locate reusable closures for merged dirty groups.
-	ownerOf := make([]*cachedComp, len(x.base))
-	for _, c := range x.comps {
-		for _, id := range c.members {
-			ownerOf[id] = c
+// closeLocked drives the claim/close/publish fixpoint: regroup the forest,
+// claim every dirty component no concurrent Update holds, close the claims
+// with the lock released, publish, and repeat until all components are
+// clean and cached — waiting (never while holding claims, so never in a
+// cycle) whenever the only remaining dirty components are claimed by
+// concurrent Updates. Returns the assembled kept tuples. Callers hold
+// x.mu; it is released and reacquired around closures.
+func (x *Index) closeLocked(ctx context.Context, opts Options, stats *Stats) ([]Tuple, error) {
+	largestDirty := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, Canceled(err)
 		}
-	}
+		if x.resetWanted {
+			// An Update is waiting to rebuild the store; hold off new claims
+			// so its drain terminates.
+			stats.PendingWaits++
+			x.cond.Wait()
+			continue
+		}
 
-	// Split clean from dirty. A component is clean iff none of its members
-	// were touched this Update: untouched trees keep their root and member
-	// set, so the cache lookup by root is exact (the member-set comparison
-	// is a cheap invariant check).
-	newComps := make(map[int]*cachedComp, len(groups))
-	dirtyOf := make([]int, 0, len(groups)) // group index per dirty comp
-	var dirtyJobs []closeJob
-	var dirtyPos [][]int // member store positions per dirty job
-	cleanExtra := 0      // closure tuples beyond base ones in clean comps, for budget parity
-	seedExtra := 0       // reused closure tuples seeded into dirty comps, ditto
-	perGroup := make([]*cachedComp, len(groups))
-	for gi, members := range groups {
-		if len(members) > stats.LargestComp {
-			stats.LargestComp = len(members)
-		}
-		clean := true
-		for _, i := range members {
-			if touched[i] {
-				clean = false
-				break
+		groups := x.regroup()
+
+		// ownerOf maps each base tuple to the cached component that held it
+		// at its last close, to locate reusable closures for merged groups.
+		ownerOf := make([]*cachedComp, len(x.base))
+		for _, c := range x.comps {
+			for _, id := range c.members {
+				ownerOf[id] = c
 			}
 		}
-		root := x.uf.find(members[0])
-		if clean {
-			if cached, ok := x.comps[root]; ok && slices.Equal(cached.members, members) {
-				newComps[root] = cached
-				perGroup[gi] = cached
-				cleanExtra += cached.closure - len(cached.members)
+
+		// Sort the groups: clean cached ones are done, groups with a member
+		// claimed by a concurrent Update block assembly, everything else is
+		// ours to claim. A group with no dirty member but no usable cache
+		// (its closure was consumed by a failed concurrent Update) re-closes
+		// in full.
+		var dirtyGroups [][]int
+		blocked := false
+		cleanExtra := 0 // closure tuples beyond base ones in clean comps, for budget parity
+		for _, members := range groups {
+			held := false
+			for _, id := range members {
+				if x.claimed[id] {
+					held = true
+					break
+				}
+			}
+			if held {
+				blocked = true
 				continue
 			}
+			dirtyMember := false
+			for _, id := range members {
+				if x.dirty[id] {
+					dirtyMember = true
+					break
+				}
+			}
+			if !dirtyMember {
+				if c, ok := x.comps[members[0]]; ok && slices.Equal(c.members, members) {
+					cleanExtra += c.closure - len(c.members)
+					continue
+				}
+			}
+			dirtyGroups = append(dirtyGroups, members)
 		}
-		job, basePos := x.seedDirty(members, ownerOf, touched)
-		stats.SeedReusedTuples += len(job.tuples) - len(members)
-		seedExtra += len(job.tuples) - len(members)
-		dirtyOf = append(dirtyOf, gi)
-		dirtyJobs = append(dirtyJobs, job)
-		dirtyPos = append(dirtyPos, basePos)
-	}
-	stats.DirtyComponents = len(dirtyJobs)
 
-	// Close the dirty components through the same scheduler as the
-	// one-shot engine (closeSet: whole components across workers, hub
-	// components with work-stealing parallelism inside them). The budget
-	// seeds with every tuple already live — base, the clean closures'
-	// surplus, and the reused dirty seeds — so Options.MaxTuples keeps its
-	// "total closure size" meaning across incremental runs.
-	bud := newBudget(opts.MaxTuples, len(x.base)+cleanExtra+seedExtra)
-	results, err := x.eng.closeSet(ctx, dirtyJobs, opts, bud, stats)
-	if err != nil {
-		return nil, err
-	}
-	largestDirty := 0
-	for di := range results {
-		r := &results[di]
-		stats.ReclosedTuples += r.closure
-		// Stats.PivotColumn describes the work this run performed, so it is
-		// the pivot of the largest component actually (re)closed — clean
-		// components did no probing.
-		if r.closure > largestDirty {
-			largestDirty = r.closure
-			stats.PivotColumn = r.stats.PivotColumn
+		if len(dirtyGroups) == 0 {
+			if blocked {
+				stats.PendingWaits++
+				x.cond.Wait()
+				continue
+			}
+			// Every component is clean and cached: assemble.
+			stats.Components = len(groups)
+			var kept []Tuple
+			for _, members := range groups {
+				if len(members) > stats.LargestComp {
+					stats.LargestComp = len(members)
+				}
+				c := x.comps[members[0]]
+				stats.Closure += c.closure
+				if c.closure > stats.LargestClose {
+					stats.LargestClose = c.closure
+				}
+				kept = append(kept, c.kept...)
+			}
+			return kept, nil
 		}
-		gi := dirtyOf[di]
-		members := groups[gi]
-		c := &cachedComp{
-			members: members, kept: r.kept, closure: r.closure,
-			store: r.store, basePos: dirtyPos[di], sigs: r.sigs, post: r.post, sub: r.sub,
-		}
-		newComps[x.uf.find(members[0])] = c
-		perGroup[gi] = c
-	}
-	x.comps = newComps
 
-	var kept []Tuple
-	for gi := range groups {
-		c := perGroup[gi]
-		stats.Closure += c.closure
-		if c.closure > stats.LargestClose {
-			stats.LargestClose = c.closure
+		// Claim: consume the caches into jobs and clear the dirty marks, all
+		// before releasing the lock, so concurrent Updates see a consistent
+		// claim set. The engine snapshot is per round — concurrent ingests
+		// may have grown the dictionary since our own ingest.
+		roundCols := x.nCols
+		eng := &engine{dict: x.dict.Snapshot(), nCols: roundCols}
+		jobs := make([]closeJob, 0, len(dirtyGroups))
+		jobPos := make([][]int, 0, len(dirtyGroups))
+		seedExtra := 0 // reused closure tuples seeded into dirty comps, for budget parity
+		for _, members := range dirtyGroups {
+			job, basePos := x.seedDirty(members, ownerOf, x.dirty)
+			if len(job.work) == 0 {
+				// No dirty member located the delta (cache lost to a failed
+				// concurrent Update): re-close the whole seed store.
+				job.work = nil
+			}
+			stats.SeedReusedTuples += len(job.tuples) - len(members)
+			seedExtra += len(job.tuples) - len(members)
+			jobs = append(jobs, job)
+			jobPos = append(jobPos, basePos)
+			for _, id := range members {
+				x.claimed[id] = true
+				x.dirty[id] = false
+			}
 		}
-		kept = append(kept, c.kept...)
+		x.claims += len(jobs)
+		stats.DirtyComponents += len(jobs)
+
+		// The budget seeds with every tuple known to be live — base, the
+		// clean closures' surplus, and the reused dirty seeds — so
+		// Options.MaxTuples keeps its "total closure size" meaning across
+		// incremental runs. (Components claimed by concurrent Updates are
+		// mid-flight; their eventual surplus is not counted.)
+		bud := newBudget(opts.MaxTuples, len(x.base)+cleanExtra+seedExtra)
+
+		x.mu.Unlock()
+		results, err := eng.closeSet(ctx, jobs, opts, bud, stats)
+		x.mu.Lock()
+		x.claims -= len(jobs)
+		if err != nil {
+			// The consumed caches are gone; restore dirty marks on every
+			// claimed member so the next Update (or round) re-closes those
+			// components from their base tuples.
+			for _, members := range dirtyGroups {
+				for _, id := range members {
+					x.claimed[id] = false
+					x.dirty[id] = true
+				}
+			}
+			x.cond.Broadcast()
+			return nil, err
+		}
+
+		// Publish: key each component by its smallest member (stable under
+		// merges, unlike union-find roots), dropping the entries of any
+		// previous components the group absorbed. A concurrent widen during
+		// the closure is fixed up here — the results were produced at this
+		// round's width.
+		for di := range results {
+			r := &results[di]
+			stats.ReclosedTuples += r.closure
+			// Stats.PivotColumn describes the work this run performed, so it
+			// is the pivot of the largest component actually (re)closed —
+			// clean components did no probing.
+			if r.closure > largestDirty {
+				largestDirty = r.closure
+				stats.PivotColumn = r.stats.PivotColumn
+			}
+			members := dirtyGroups[di]
+			c := &cachedComp{
+				members: members, kept: r.kept, closure: r.closure,
+				store: r.store, basePos: jobPos[di], sigs: r.sigs, post: r.post, sub: r.sub,
+			}
+			if x.nCols > roundCols {
+				widenComp(c, x.nCols)
+			}
+			for _, id := range members {
+				delete(x.comps, id)
+				x.claimed[id] = false
+			}
+			x.comps[members[0]] = c
+		}
+		x.cond.Broadcast()
 	}
-	return kept, nil
 }

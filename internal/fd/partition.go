@@ -247,7 +247,7 @@ func (e *engine) closeOne(ctx context.Context, job closeJob, opts Options, bud *
 		return compResult{err: err}
 	}
 	st.PivotBuckets = cl.idx.buckets
-	kept, sub := e.subsumeIncremental(cl.tuples, cl.idx, job.subSeed, job.subN)
+	kept, sub := e.subsumeIncremental(cl.tuples, cl.idx, job.subSeed, job.subN, 1)
 	return compResult{kept: kept, store: cl.tuples, sigs: cl.sigs, post: cl.idx, sub: sub, stats: st, closure: len(cl.tuples)}
 }
 
@@ -270,12 +270,22 @@ func (e *engine) closeOnePar(ctx context.Context, job closeJob, opts Options, bu
 	} else {
 		var err error
 		pivot := pivotFor(opts, job.tuples, e.nCols)
-		closed, err = closeConcurrent(ctx, e, job.tuples, job.work, opts.Workers, resolveShards(opts), pivot, bud, &st)
+		if pivot >= 0 && job.work == nil {
+			// Full closure with a pivot: the pivot-partitioned engine closes
+			// disjoint pivot groups with no shared mutable state. Incremental
+			// re-closure (a partial worklist) needs every pair involving the
+			// delta attempted across the whole cached store, which the group
+			// decomposition does not cover — that stays on the work-stealing
+			// engine.
+			closed, err = closePivotPar(ctx, e, job.tuples, pivot, opts.Workers, bud, &st)
+		} else {
+			closed, err = closeConcurrent(ctx, e, job.tuples, job.work, opts.Workers, resolveShards(opts), pivot, bud, &st)
+		}
 		if err != nil {
 			return compResult{err: err}
 		}
 	}
-	kept, sub := e.subsumeIncremental(closed, nil, nil, 0)
+	kept, sub := e.subsumeIncremental(closed, nil, nil, 0, opts.Workers)
 	return compResult{kept: kept, store: closed, sub: sub, stats: st, closure: len(closed)}
 }
 

@@ -213,6 +213,15 @@ func TestPivotEnginesByteIdentical(t *testing.T) {
 			if st.PivotColumn != idCol {
 				t.Errorf("pivot column %d, want the id column", st.PivotColumn)
 			}
+			if v.opts.Workers > 1 && !v.opts.RoundParallel {
+				// The pivot-partitioned engine replaces bucketed candidate
+				// pruning with disjoint per-pivot groups: nothing is skipped
+				// or minted because cross-group pairs are never enumerated.
+				if st.PivotGroups == 0 {
+					t.Error("pivot-partitioned engine reported no groups")
+				}
+				return
+			}
 			if st.PivotSkipped == 0 {
 				t.Error("no candidate iterations skipped")
 			}

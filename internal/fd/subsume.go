@@ -2,10 +2,16 @@ package fd
 
 import (
 	"sort"
+	"sync"
 
 	"fuzzyfd/internal/intern"
 	"fuzzyfd/internal/table"
 )
+
+// subsumeParMin is the least number of store tuples per worker at which
+// the subsumer search fans out; below it goroutine startup outweighs the
+// scan.
+const subsumeParMin = 256
 
 // subsume removes every tuple strictly subsumed by another (minimal-union
 // semantics), folding the provenance of each removed tuple into one of its
@@ -25,7 +31,7 @@ func (e *engine) subsume(tuples []Tuple) []Tuple {
 // subsumeIndexed is subsume with an optional posting index already covering
 // tuples (the closure that just produced the store has one); nil builds it.
 func (e *engine) subsumeIndexed(tuples []Tuple, idx *postingIndex) []Tuple {
-	kept, _ := e.subsumeIncremental(tuples, idx, nil, 0)
+	kept, _ := e.subsumeIncremental(tuples, idx, nil, 0, 1)
 	return kept
 }
 
@@ -44,7 +50,15 @@ func (e *engine) subsumeIndexed(tuples []Tuple, idx *postingIndex) []Tuple {
 // run already folded is an allocation-free no-op, and chains through new
 // subsumers pick up exactly the provenance a from-scratch subsume would
 // propagate.
-func (e *engine) subsumeIncremental(tuples []Tuple, idx *postingIndex, oldSub []int32, n0 int) ([]Tuple, []int32) {
+//
+// The subsumer search is a pure function of the (now frozen) store: each
+// sub[i] reads only tuples, the index, and nonNulls. With workers > 1 the
+// search chunks across goroutines — same sub array, bit for bit, as the
+// sequential scan — and a nil index is built per-column in parallel
+// (posting lists stay ascending because each column worker walks tuple ids
+// in order). The fold and kept passes stay sequential; they are linear in
+// the store and order-sensitive.
+func (e *engine) subsumeIncremental(tuples []Tuple, idx *postingIndex, oldSub []int32, n0, workers int) ([]Tuple, []int32) {
 	if len(tuples) <= 1 {
 		sub := make([]int32, len(tuples))
 		for i := range sub {
@@ -52,10 +66,33 @@ func (e *engine) subsumeIncremental(tuples []Tuple, idx *postingIndex, oldSub []
 		}
 		return tuples, sub
 	}
+	if workers > len(tuples)/subsumeParMin {
+		workers = len(tuples) / subsumeParMin
+	}
+	if workers < 1 {
+		workers = 1
+	}
 	if idx == nil {
 		idx = newPostingIndex(e.nCols)
-		for i := range tuples {
-			idx.add(i, tuples[i].Cells)
+		if workers > 1 {
+			var wg sync.WaitGroup
+			for c0 := 0; c0 < e.nCols; c0++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					col := idx.byCol[c]
+					for i := range tuples {
+						if sym := tuples[i].Cells[c]; sym != intern.Null {
+							col[sym] = append(col[sym], i)
+						}
+					}
+				}(c0)
+			}
+			wg.Wait()
+		} else {
+			for i := range tuples {
+				idx.add(i, tuples[i].Cells)
+			}
 		}
 	}
 
@@ -78,58 +115,78 @@ func (e *engine) subsumeIncremental(tuples []Tuple, idx *postingIndex, oldSub []
 
 	// sub[i] is the chosen subsumer of dropped tuple i, or -1.
 	sub := make([]int32, len(tuples))
-	for i := range tuples {
-		cur := -1
-		from := 0
-		if i < n0 {
-			// Cached: the best subsumer among the previous store; only
-			// entries appended since can beat it.
-			cur = int(oldSub[i])
-			from = n0
-		}
-		cells := tuples[i].Cells
+	search := func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			cur := -1
+			from := 0
+			if i < n0 {
+				// Cached: the best subsumer among the previous store; only
+				// entries appended since can beat it.
+				cur = int(oldSub[i])
+				from = n0
+			}
+			cells := tuples[i].Cells
 
-		// Scan the posting list with the fewest candidates at or past
-		// `from` among i's non-null values. Posting lists are ascending
-		// (stores and their indexes grow append-only), so the candidates
-		// ≥ from form a suffix located by binary search.
-		best := -1
-		bestLen := 0
-		bestFrom := 0
-		for c, sym := range cells {
-			if sym == intern.Null {
+			// Scan the posting list with the fewest candidates at or past
+			// `from` among i's non-null values. Posting lists are ascending
+			// (stores and their indexes grow append-only), so the candidates
+			// ≥ from form a suffix located by binary search.
+			best := -1
+			bestLen := 0
+			bestFrom := 0
+			for c, sym := range cells {
+				if sym == intern.Null {
+					continue
+				}
+				l := idx.byCol[c][sym]
+				lo := 0
+				if from > 0 {
+					lo = sort.SearchInts(l, from)
+				}
+				if n := len(l) - lo; best < 0 || n < bestLen {
+					best, bestLen, bestFrom = c, n, lo
+				}
+			}
+			if best < 0 {
+				// All-null tuple (only from fully-empty input rows): subsumed by
+				// any informative tuple; pick the canonical one. The partitioned
+				// engine applies the same rule across components in foldAllNull.
+				for j := range tuples {
+					if j != i && nonNulls[j] > 0 && better(j, cur) {
+						cur = j
+					}
+				}
+				sub[i] = int32(cur)
 				continue
 			}
-			l := idx.byCol[c][sym]
-			lo := 0
-			if from > 0 {
-				lo = sort.SearchInts(l, from)
-			}
-			if n := len(l) - lo; best < 0 || n < bestLen {
-				best, bestLen, bestFrom = c, n, lo
-			}
-		}
-		if best < 0 {
-			// All-null tuple (only from fully-empty input rows): subsumed by
-			// any informative tuple; pick the canonical one. The partitioned
-			// engine applies the same rule across components in foldAllNull.
-			for j := range tuples {
-				if j != i && nonNulls[j] > 0 && better(j, cur) {
+			for _, j := range idx.byCol[best][cells[best]][bestFrom:] {
+				if j == i || !subsumes(tuples[j].Cells, cells) {
+					continue
+				}
+				if better(j, cur) {
 					cur = j
 				}
 			}
 			sub[i] = int32(cur)
-			continue
 		}
-		for _, j := range idx.byCol[best][cells[best]][bestFrom:] {
-			if j == i || !subsumes(tuples[j].Cells, cells) {
-				continue
+	}
+	if workers > 1 {
+		var wg sync.WaitGroup
+		chunk := (len(tuples) + workers - 1) / workers
+		for i0 := 0; i0 < len(tuples); i0 += chunk {
+			i1 := i0 + chunk
+			if i1 > len(tuples) {
+				i1 = len(tuples)
 			}
-			if better(j, cur) {
-				cur = j
-			}
+			wg.Add(1)
+			go func(i0, i1 int) {
+				defer wg.Done()
+				search(i0, i1)
+			}(i0, i1)
 		}
-		sub[i] = int32(cur)
+		wg.Wait()
+	} else {
+		search(0, len(tuples))
 	}
 
 	// Fold provenance along subsumption chains, processing least-informative
