@@ -182,6 +182,10 @@ func main() {
 
 	if *statsF {
 		tracker.reportPivot(res)
+		if res.FDStats.PendingWaits > 0 {
+			fmt.Fprintf(os.Stderr, "concurrency: %d waits on components claimed by concurrent updates\n",
+				res.FDStats.PendingWaits)
+		}
 	}
 	if !*quiet {
 		rows := res.FDStats.Output
@@ -388,6 +392,9 @@ func runSession(ctx context.Context, tables []*fuzzyfd.Table, paths []string, op
 		}
 		fmt.Fprintf(os.Stderr, "session total: %v over %d integrations (amortized %v/step)\n",
 			total.Round(time.Microsecond), n, (total / time.Duration(n)).Round(time.Microsecond))
+		if hits := s.RewriteCacheHits(); hits > 0 {
+			fmt.Fprintf(os.Stderr, "session cache: %d table rewrites served from memoized views\n", hits)
+		}
 	}
 	return res, nil
 }

@@ -1,0 +1,88 @@
+// Command fuzzyfdd is the fuzzyfd integration daemon: a long-lived HTTP
+// server hosting named incremental integration sessions. Clients create a
+// session, POST tables as JSON Lines (concurrent posts to one session
+// coalesce into single incremental integrations), stream the integrated
+// result back as JSON Lines, follow progress over Server-Sent Events, and
+// scrape Prometheus metrics from /metrics.
+//
+//	fuzzyfdd -addr :8080 -max-sessions 64 -idle-ttl 30m -budget 5000000
+//
+// Endpoints:
+//
+//	PUT    /v1/sessions/{name}          create a session (JSON options body)
+//	GET    /v1/sessions                 list sessions with statistics
+//	GET    /v1/sessions/{name}          one session's statistics
+//	DELETE /v1/sessions/{name}          evict a session
+//	POST   /v1/sessions/{name}/tables   add a JSONL table and integrate
+//	GET    /v1/sessions/{name}/result   result; Accept: application/jsonl streams
+//	GET    /v1/sessions/{name}/events   progress as Server-Sent Events
+//	GET    /metrics                     Prometheus text exposition
+//	GET    /healthz                     ok, or 503 once draining
+//
+// On SIGTERM or SIGINT the daemon drains: new state-changing requests get
+// 503, in-flight integrations finish (up to -drain-timeout), then the
+// listener shuts down.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fuzzyfd/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	maxSessions := flag.Int("max-sessions", 64, "maximum live sessions")
+	idleTTL := flag.Duration("idle-ttl", 0, "evict sessions idle this long (0 disables)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain deadline on shutdown")
+	budget := flag.Int("budget", 0, "per-session tuple budget ceiling (0 unbounded)")
+	workers := flag.Int("workers", 0, "default FD workers per session (0 sequential)")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "usage: fuzzyfdd [flags]\n")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	srv := server.New(server.Config{
+		MaxSessions: *maxSessions,
+		IdleTTL:     *idleTTL,
+		TupleBudget: *budget,
+		Workers:     *workers,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("fuzzyfdd listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("fuzzyfdd: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("fuzzyfdd draining (deadline %s)", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		log.Printf("fuzzyfdd: %v", err)
+	}
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("fuzzyfdd: shutdown: %v", err)
+	}
+	srv.Close()
+	log.Printf("fuzzyfdd stopped")
+}

@@ -82,6 +82,10 @@ type (
 	// FDStats reports the work done by the Full Disjunction stage (see
 	// Result.FDStats and Session.Stats).
 	FDStats = fd.Stats
+	// Schema maps each input table's columns onto the integrated output
+	// schema (see Result.Schema); streaming emit callbacks receive it with
+	// every row.
+	Schema = fd.Schema
 	// ProgressEvent is one report delivered to a WithProgress callback: a
 	// pipeline phase starting or completing, or one connected component's
 	// closure finishing during the FD phase.
@@ -150,6 +154,13 @@ func WriteCSVFile(path string, t *Table) error {
 // omitted) — the machine-readable output of the fuzzyfd CLI's -json flag.
 func WriteJSONL(w io.Writer, t *Table) error {
 	return table.WriteJSONL(w, t)
+}
+
+// ReadJSONL parses a JSON Lines stream (one object per row, missing keys
+// null) into a table with the given name — the inverse of WriteJSONL, and
+// the table encoding the fuzzyfdd server ingests.
+func ReadJSONL(r io.Reader, name string) (*Table, error) {
+	return table.ReadJSONL(r, name)
 }
 
 // Option configures Integrate and MatchValues.
@@ -492,6 +503,38 @@ func (s *Session) Integrate() (*Result, error) { return s.s.Integrate() }
 func (s *Session) IntegrateContext(ctx context.Context) (*Result, error) {
 	return s.s.IntegrateContext(ctx)
 }
+
+// StreamContext integrates every table added so far and streams the rows
+// instead of materializing them — the serving-path complement of
+// IntegrateContext. Components the call (re)closes are emitted the moment
+// their closure finishes, so the delta reaches the consumer while the rest
+// is still closing, and components untouched since the last integration
+// replay from the session's cached closure results, paying only decode
+// cost. emit runs on the calling goroutine and receives the integrated
+// schema with each row and its provenance. The emitted row multiset equals
+// IntegrateContext's result up to row order (components stream in
+// completion-then-ingest order rather than global value order), with
+// StreamJSONL's all-null caveat. The returned Result carries schema,
+// statistics, and timings, but no materialized Table or Prov, and does not
+// update Last.
+//
+// An emit error or cancellation aborts the stream; rows already emitted
+// stay emitted — the partial prefix is the point — and the session stays
+// consistent for later calls. Streams may run concurrently with other
+// session calls; serialize them against Integrate calls when the consumer
+// needs an exact one-to-one multiset of a single integration state.
+func (s *Session) StreamContext(ctx context.Context, emit func(schema Schema, row Row, prov []TID) error) (*Result, error) {
+	return s.s.StreamContext(ctx, emit)
+}
+
+// Integrations reports the number of completed Integrate calls.
+func (s *Session) Integrations() int { return s.s.Integrations() }
+
+// RewriteCacheHits reports how many table rewrites the fuzzy match stage
+// served from the session's memoized rewritten views instead of
+// clone-and-rewrite passes — the match-stage counterpart of the FDStats
+// reuse counters, surfaced for metrics bridges and diagnostics.
+func (s *Session) RewriteCacheHits() int { return s.s.RewriteCacheHits() }
 
 // MatchValues runs only the fuzzy value-matching component over a set of
 // aligning columns (each a list of cell values), returning the disjoint

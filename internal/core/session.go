@@ -178,6 +178,50 @@ func (s *Session) IntegrateContext(ctx context.Context) (*Result, error) {
 	return res, nil
 }
 
+// StreamContext computes the integration of every table added so far and
+// streams the rows instead of materializing a Result table: components the
+// call (re)closes are emitted the moment their closure finishes — the delta
+// flows while the rest is still closing — and components untouched since
+// the last integration replay from the session's cached kept tuples. emit
+// receives the integrated schema (identical on every call) with each row
+// and its provenance, on the calling goroutine. The emitted row multiset
+// equals IntegrateContext's result up to row order (components stream in
+// completion-then-ingest order, not global value order), with Stream's
+// all-null caveat. The returned Result carries schema, match diagnostics,
+// FD statistics, and timings, but no materialized Table or Prov, and does
+// not become Last.
+//
+// Cancellation or an emit error aborts the stream: rows already emitted
+// stay emitted and the session stays consistent — affected components are
+// re-marked dirty and a later call re-closes them. A stream racing
+// concurrent IntegrateContext calls on the same session stays row-correct
+// but can emit a component twice if a concurrent delta merges it
+// mid-stream; serialize streams against integrations for an exact
+// one-to-one multiset.
+func (s *Session) StreamContext(ctx context.Context, emit func(schema fd.Schema, row table.Row, prov []fd.TID) error) (*Result, error) {
+	start := time.Now()
+	s.mu.Lock()
+	work, schema, res, err := s.prepare(ctx)
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+
+	fdStart := time.Now()
+	s.emit(ProgressEvent{Phase: PhaseFD})
+	stats, err := s.idx.StreamContext(ctx, work, schema, s.cfg.fdOptions(), func(row table.Row, prov []fd.TID) error {
+		return emit(schema, row, prov)
+	})
+	res.FDStats = stats
+	res.Timings.FD = time.Since(fdStart)
+	res.Timings.Total = time.Since(start)
+	if err != nil {
+		return res, phaseErr(PhaseFD, err)
+	}
+	s.emit(ProgressEvent{Phase: PhaseFD, Done: true, Elapsed: res.Timings.FD})
+	return res, nil
+}
+
 // prepare runs the pre-FD pipeline stages — column alignment and (for the
 // fuzzy method) value matching with cell rewriting — returning the tables
 // the FD stage should consume and a Result with the schema, match

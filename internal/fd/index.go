@@ -3,6 +3,7 @@ package fd
 import (
 	"context"
 	"slices"
+	"sort"
 	"sync"
 	"time"
 
@@ -199,9 +200,13 @@ func (x *Index) UpdateContext(ctx context.Context, tables []*table.Table, schema
 		stats.InputTuples += len(t.Rows)
 	}
 
-	kept, eng, outSchema, err := x.update(ctx, tables, schema, opts, &stats)
+	groups, eng, outSchema, err := x.update(ctx, tables, schema, opts, &stats, nil)
 	if err != nil {
 		return nil, err
+	}
+	var kept []Tuple
+	for _, g := range groups {
+		kept = append(kept, g.kept...)
 	}
 	kept = eng.foldAllNull(kept)
 	stats.Subsumed = stats.Closure - len(kept)
@@ -209,11 +214,115 @@ func (x *Index) UpdateContext(ctx context.Context, tables []*table.Table, schema
 	return eng.materialize(kept, outSchema, stats), nil
 }
 
+// groupKept is one component's contribution to an Update's assembly: its
+// member base ids and a snapshot of its kept (closed + subsumption-reduced)
+// tuples, taken under the index lock so later widenings cannot race with
+// readers. streamed marks groups a streaming Update already emitted while
+// they closed (see Index.StreamContext).
+type groupKept struct {
+	members  []int
+	kept     []Tuple
+	streamed bool
+}
+
+// dirtyEmit observes one dirty component group the moment its (re)closure
+// finishes, on the updating goroutine with the index lock released. eng is
+// the round's engine (dictionary snapshot), groups the number of component
+// groups in the round that closed it.
+type dirtyEmit func(eng *engine, members []int, groups int, r compResult) error
+
+// StreamContext ingests the accumulated integration set exactly like
+// UpdateContext but emits the result rows instead of materializing a
+// table: every component this call (re)closes streams as soon as its
+// closure finishes — the delta flows first, while other dirty components
+// are still closing — and once the index is fully clean the untouched
+// components replay from their cached kept tuples, paying only decode cost.
+// Rows within a component are emitted in value order; components arrive in
+// completion order for the re-closed delta and then in ingest order for the
+// clean replay, so the emitted row multiset equals UpdateContext's output
+// up to row order — with fd.Stream's all-null caveat: a fully-empty input
+// row's all-null output is dropped rather than provenance-folded when other
+// components exist, because its subsumer may already be out.
+//
+// emit runs on the calling goroutine. An emit error (or cancellation)
+// aborts the stream; rows already emitted stay emitted, the consumed
+// component caches are marked dirty again, and a later Update re-closes
+// them — nothing is lost. A stream racing concurrent Updates on the same
+// Index keeps every published row correct, but a component merged by a
+// concurrent ingest mid-stream can be emitted again in merged (superset)
+// form; serialize streams against Updates (as the serving layer does per
+// session) for an exact one-to-one row multiset.
+func (x *Index) StreamContext(ctx context.Context, tables []*table.Table, schema Schema, opts Options, emit func(row table.Row, prov []TID) error) (Stats, error) {
+	start := time.Now()
+	var stats Stats
+	stats.PivotColumn = -1
+	if err := schema.Validate(tables); err != nil {
+		return stats, err
+	}
+	if err := ctx.Err(); err != nil {
+		return stats, Canceled(err)
+	}
+	if opts.NoPartition {
+		// The flat global closure has no component structure to stream or
+		// reuse; delegate to the one-shot streaming engine, as UpdateContext
+		// delegates to the one-shot batch engine.
+		return Stream(ctx, tables, schema, opts, emit)
+	}
+	for _, t := range tables {
+		stats.InputTuples += len(t.Rows)
+	}
+
+	emitted := 0 // rows handed to emit
+	kept := 0    // tuples surviving subsumption in emitted + replayed groups
+	emitComp := func(eng *engine, tuples []Tuple, groups int) error {
+		if len(tuples) == 1 && allNull(tuples[0].Cells) && groups > 1 {
+			// Dropped all-null singleton: counts as subsumed, exactly as the
+			// batch engine's foldAllNull and fd.Stream do.
+			kept--
+			return nil
+		}
+		sort.Slice(tuples, func(a, b int) bool {
+			return eng.lessCells(tuples[a].Cells, tuples[b].Cells)
+		})
+		for _, tp := range tuples {
+			if err := emit(eng.decodeRow(tp.Cells), tp.Prov); err != nil {
+				return err
+			}
+			emitted++
+		}
+		return nil
+	}
+	onDirty := func(eng *engine, members []int, groups int, r compResult) error {
+		kept += len(r.kept)
+		return emitComp(eng, r.kept, groups)
+	}
+
+	groups, eng, _, err := x.update(ctx, tables, schema, opts, &stats, onDirty)
+	if err == nil {
+		for _, g := range groups {
+			if g.streamed {
+				continue // emitted while it closed; kept already counted
+			}
+			kept += len(g.kept)
+			if err = emitComp(eng, g.kept, len(groups)); err != nil {
+				break
+			}
+		}
+	}
+	stats.Subsumed = stats.Closure - kept
+	stats.Output = emitted
+	stats.Elapsed = time.Since(start)
+	return stats, err
+}
+
 // update runs the locked stages of an Update — reconcile, ingest, and the
-// claim/close/publish fixpoint — and returns the assembled kept tuples
-// with the engine and schema to materialize them under. The lock is held
-// throughout except while closing this Update's claimed components.
-func (x *Index) update(ctx context.Context, tables []*table.Table, schema Schema, opts Options, stats *Stats) ([]Tuple, *engine, Schema, error) {
+// claim/close/publish fixpoint — and returns the assembled component
+// groups (kept tuples snapshotted under the lock) with the engine and
+// schema to materialize or decode them under. The lock is held throughout
+// except while closing this Update's claimed components; a non-nil onDirty
+// observes each dirty component in those unlocked windows. The batch path
+// passes nil and concatenates the groups.
+func (x *Index) update(ctx context.Context, tables []*table.Table, schema Schema, opts Options, stats *Stats, onDirty dirtyEmit) ([]groupKept, *engine, Schema, error) {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 
@@ -273,7 +382,7 @@ func (x *Index) update(ctx context.Context, tables []*table.Table, schema Schema
 
 	// Stage 3: claim and close dirty components until every component is
 	// clean and cached, then assemble.
-	kept, err := x.closeLocked(ctx, opts, stats)
+	groups, err := x.closeLocked(ctx, opts, stats, onDirty)
 	if err != nil {
 		return nil, nil, Schema{}, err
 	}
@@ -283,7 +392,7 @@ func (x *Index) update(ctx context.Context, tables []*table.Table, schema Schema
 	eng := &engine{dict: x.dict.Snapshot(), nCols: x.nCols}
 	stats.OuterUnion = len(x.base)
 	stats.Values = x.dict.Len()
-	return kept, eng, x.schema, nil
+	return groups, eng, x.schema, nil
 }
 
 // clearResetWanted lifts the claim gate and wakes Updates held at it.
@@ -693,10 +802,21 @@ func (x *Index) regroup() [][]int {
 // with the lock released, publish, and repeat until all components are
 // clean and cached — waiting (never while holding claims, so never in a
 // cycle) whenever the only remaining dirty components are claimed by
-// concurrent Updates. Returns the assembled kept tuples. Callers hold
-// x.mu; it is released and reacquired around closures.
-func (x *Index) closeLocked(ctx context.Context, opts Options, stats *Stats) ([]Tuple, error) {
+// concurrent Updates. Returns the assembled component groups, kept tuples
+// snapshotted under the lock. A non-nil onDirty observes every dirty
+// component this call closes, from the unlocked closure window, and the
+// matching assembled groups come back marked streamed. Callers hold x.mu;
+// it is released and reacquired around closures.
+func (x *Index) closeLocked(ctx context.Context, opts Options, stats *Stats, onDirty dirtyEmit) ([]groupKept, error) {
 	largestDirty := 0
+	// streamed records the groups onDirty has emitted this call, keyed by
+	// smallest member with the full membership kept: a group re-dirtied and
+	// merged after its emission (a concurrent-Update race) no longer
+	// matches and is replayed by the assembly instead of silently skipped.
+	var streamed map[int][]int
+	if onDirty != nil {
+		streamed = make(map[int][]int)
+	}
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, Canceled(err)
@@ -762,9 +882,12 @@ func (x *Index) closeLocked(ctx context.Context, opts Options, stats *Stats) ([]
 				x.cond.Wait()
 				continue
 			}
-			// Every component is clean and cached: assemble.
+			// Every component is clean and cached: assemble. Kept slices are
+			// snapshotted (headers cloned) under the lock — a later Update's
+			// widening replaces cached cell slices in place, and the caller
+			// reads these after releasing the lock.
 			stats.Components = len(groups)
-			var kept []Tuple
+			out := make([]groupKept, 0, len(groups))
 			for _, members := range groups {
 				if len(members) > stats.LargestComp {
 					stats.LargestComp = len(members)
@@ -774,9 +897,14 @@ func (x *Index) closeLocked(ctx context.Context, opts Options, stats *Stats) ([]
 				if c.closure > stats.LargestClose {
 					stats.LargestClose = c.closure
 				}
-				kept = append(kept, c.kept...)
+				prev, emitted := streamed[members[0]]
+				out = append(out, groupKept{
+					members:  members,
+					kept:     slices.Clone(c.kept),
+					streamed: emitted && slices.Equal(prev, members),
+				})
 			}
-			return kept, nil
+			return out, nil
 		}
 
 		// Claim: consume the caches into jobs and clear the dirty marks, all
@@ -814,8 +942,23 @@ func (x *Index) closeLocked(ctx context.Context, opts Options, stats *Stats) ([]
 		// mid-flight; their eventual surplus is not counted.)
 		bud := newBudget(opts.MaxTuples, len(x.base)+cleanExtra+seedExtra)
 
+		// A streaming caller sees each dirty component the moment it closes,
+		// from the unlocked window below — the closeEach assembler delivers
+		// on this goroutine, so emission needs no extra synchronization.
+		var hook func(ci int, r compResult) error
+		if onDirty != nil {
+			roundGroups := len(groups)
+			hook = func(ci int, r compResult) error {
+				members := dirtyGroups[ci]
+				if err := onDirty(eng, members, roundGroups, r); err != nil {
+					return err
+				}
+				streamed[members[0]] = members
+				return nil
+			}
+		}
 		x.mu.Unlock()
-		results, err := eng.closeSet(ctx, jobs, opts, bud, stats)
+		results, err := eng.closeSetHook(ctx, jobs, opts, bud, stats, hook)
 		x.mu.Lock()
 		x.claims -= len(jobs)
 		if err != nil {

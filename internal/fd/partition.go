@@ -467,6 +467,16 @@ func (e *engine) closeEach(ctx context.Context, jobs []closeJob, opts Options, b
 // incremental index (over the dirty ones) close through, so the two paths
 // cannot diverge.
 func (e *engine) closeSet(ctx context.Context, jobs []closeJob, opts Options, bud *budget, stats *Stats) ([]compResult, error) {
+	return e.closeSetHook(ctx, jobs, opts, bud, stats, nil)
+}
+
+// closeSetHook is closeSet with an optional per-completion hook, called on
+// the assembling goroutine right after each component's bookkeeping and
+// progress report — the extension point the incremental index's streaming
+// path uses to emit a re-closed component's rows the moment it finishes. A
+// hook error aborts the set exactly like a closure error (in-flight
+// components drain, the error propagates).
+func (e *engine) closeSetHook(ctx context.Context, jobs []closeJob, opts Options, bud *budget, stats *Stats, hook func(ci int, r compResult) error) ([]compResult, error) {
 	results := make([]compResult, len(jobs))
 	done := 0
 	err := e.closeEach(ctx, jobs, opts, bud, func(ci int, r compResult) error {
@@ -478,6 +488,9 @@ func (e *engine) closeSet(ctx context.Context, jobs []closeJob, opts Options, bu
 				Done: done, Total: len(jobs), Members: jobs[ci].base, Closure: r.closure,
 				PivotColumn: r.stats.PivotColumn, PivotSkipped: r.stats.PivotSkipped,
 			})
+		}
+		if hook != nil {
+			return hook(ci, r)
 		}
 		return nil
 	})

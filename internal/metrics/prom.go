@@ -1,0 +1,244 @@
+package metrics
+
+// Prometheus-style instrumentation: counter and gauge families with
+// optional labels, collected in a Registry that renders the text
+// exposition format. This is the observability counterpart of the
+// package's evaluation measures — the fuzzyfdd server wires the public
+// FDStats counters through it — kept dependency-free on purpose (the
+// container bakes no Prometheus client library, and the text format is
+// small enough to own).
+//
+// Concurrency: every method is safe for concurrent use. Series values are
+// atomics, so the hot path (Inc/Add/Set on an already-minted series) takes
+// no lock; minting a labeled series and rendering take the family lock.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families []*Family
+	byName   map[string]*Family
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*Family)}
+}
+
+// Counter registers (or returns the existing) counter family with the
+// given name, help text, and label names. Counters only go up; use Add and
+// Inc. Registering an existing name with a different type or label set
+// panics — metric identity is a programming contract, not runtime input.
+func (r *Registry) Counter(name, help string, labels ...string) *Family {
+	return r.family(name, help, "counter", labels)
+}
+
+// Gauge registers (or returns the existing) gauge family. Gauges move both
+// ways; use Set (and Add for deltas).
+func (r *Registry) Gauge(name, help string, labels ...string) *Family {
+	return r.family(name, help, "gauge", labels)
+}
+
+func (r *Registry) family(name, help, typ string, labels []string) *Family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.typ != typ || !equalStrings(f.labels, labels) {
+			panic(fmt.Sprintf("metrics: %s re-registered as %s%v (was %s%v)", name, typ, labels, f.typ, f.labels))
+		}
+		return f
+	}
+	f := &Family{
+		name:   name,
+		help:   help,
+		typ:    typ,
+		labels: append([]string(nil), labels...),
+		series: make(map[string]*Series),
+	}
+	r.families = append(r.families, f)
+	r.byName[name] = f
+	return f
+}
+
+// WriteText renders every family in the Prometheus text exposition format:
+// a # HELP and # TYPE header per family, then one line per series with
+// labels sorted by first-mint order normalized to sorted keys. Families
+// appear in registration order, series in sorted label order, so scrapes
+// are deterministic and diffable.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*Family(nil), r.families...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		if err := f.writeText(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Family is one named metric with a fixed label set: a single series when
+// unlabeled, or one series per distinct label-value tuple.
+type Family struct {
+	name   string
+	help   string
+	typ    string
+	labels []string
+
+	mu     sync.Mutex
+	series map[string]*Series
+}
+
+// With returns the series for the given label values, minting it at zero on
+// first use. The number of values must match the family's label names; an
+// unlabeled family takes no values.
+func (f *Family) With(values ...string) *Series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s takes %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = &Series{values: append([]string(nil), values...)}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Delete drops the series for the given label values — sessions come and
+// go, and a serving process must not grow a label cemetery. Unknown values
+// are a no-op.
+func (f *Family) Delete(values ...string) {
+	key := strings.Join(values, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.series, key)
+}
+
+func (f *Family) writeText(w io.Writer) error {
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	lines := make([]struct {
+		values []string
+		v      float64
+	}, len(keys))
+	for i, k := range keys {
+		s := f.series[k]
+		lines[i].values = s.values
+		lines[i].v = s.Value()
+	}
+	f.mu.Unlock()
+
+	if len(lines) == 0 {
+		return nil // families render only once they carry a series
+	}
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+		return err
+	}
+	for _, ln := range lines {
+		var sb strings.Builder
+		sb.WriteString(f.name)
+		if len(f.labels) > 0 {
+			sb.WriteByte('{')
+			for i, lname := range f.labels {
+				if i > 0 {
+					sb.WriteByte(',')
+				}
+				sb.WriteString(lname)
+				sb.WriteString(`="`)
+				sb.WriteString(escapeLabel(ln.values[i]))
+				sb.WriteByte('"')
+			}
+			sb.WriteByte('}')
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", sb.String(), formatValue(ln.v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series is one (family, label values) time series holding a float64
+// behind an atomic, so updates on the hot path take no lock.
+type Series struct {
+	values []string
+	bits   atomic.Uint64
+}
+
+// Value returns the current value.
+func (s *Series) Value() float64 { return math.Float64frombits(s.bits.Load()) }
+
+// Set replaces the value (gauges).
+func (s *Series) Set(v float64) { s.bits.Store(math.Float64bits(v)) }
+
+// Add increments the value by d via a CAS loop (counters and gauge deltas).
+func (s *Series) Add(d float64) {
+	for {
+		old := s.bits.Load()
+		if s.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (s *Series) Inc() { s.Add(1) }
+
+// formatValue renders integers without an exponent or trailing decimals —
+// the common case for counters — and everything else with %g.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// escapeLabel escapes a label value per the text exposition format:
+// backslash, double quote, and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var sb strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

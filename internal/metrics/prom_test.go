@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestPromTextExposition(t *testing.T) {
+	r := NewRegistry()
+	sessions := r.Gauge("fuzzyfdd_sessions", "Live sessions.")
+	adds := r.Counter("fuzzyfdd_add_requests_total", "Table-add requests.", "session")
+
+	sessions.With().Set(2)
+	adds.With("alpha").Add(3)
+	adds.With(`we"ird\name`).Inc()
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP fuzzyfdd_sessions Live sessions.\n# TYPE fuzzyfdd_sessions gauge\nfuzzyfdd_sessions 2\n",
+		"# TYPE fuzzyfdd_add_requests_total counter\n",
+		`fuzzyfdd_add_requests_total{session="alpha"} 3` + "\n",
+		`fuzzyfdd_add_requests_total{session="we\"ird\\name"} 1` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Families render in registration order.
+	if strings.Index(out, "fuzzyfdd_sessions") > strings.Index(out, "fuzzyfdd_add_requests_total") {
+		t.Errorf("families out of registration order:\n%s", out)
+	}
+}
+
+func TestPromEmptyFamilySilent(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("never_touched_total", "No series yet.", "session")
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Errorf("family with no series rendered: %q", sb.String())
+	}
+}
+
+func TestPromDelete(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("tuples", "Per-session tuples.", "session")
+	g.With("a").Set(10)
+	g.With("b").Set(20)
+	g.Delete("a")
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), `session="a"`) {
+		t.Errorf("deleted series still rendered:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), `tuples{session="b"} 20`) {
+		t.Errorf("surviving series missing:\n%s", sb.String())
+	}
+}
+
+func TestPromReRegisterReturnsSameFamily(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "X.", "s")
+	b := r.Counter("x_total", "X.", "s")
+	if a != b {
+		t.Fatal("re-registration minted a second family")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("type-conflicting re-registration did not panic")
+		}
+	}()
+	r.Gauge("x_total", "X.", "s")
+}
+
+func TestPromConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits_total", "Hits.", "session")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := string(rune('a' + w%4))
+			for i := 0; i < 500; i++ {
+				c.With(name).Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total float64
+	for _, name := range []string{"a", "b", "c", "d"} {
+		total += c.With(name).Value()
+	}
+	if total != 8*500 {
+		t.Fatalf("lost updates: total %v, want %v", total, 8*500)
+	}
+}

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"context"
+	"sync"
+
+	"fuzzyfd"
+)
+
+// batcher coalesces concurrent table-adds to one session into single
+// incremental integrations. One flight runs at a time; adds arriving while
+// it runs accumulate into the next flight, so a burst of N concurrent
+// requests costs at most two Integrate calls (the one in progress plus one
+// for everything that piled up behind it) instead of N — and every waiter
+// gets the result of an integration that includes its tables.
+//
+// Coalescing is strictly per session: flights of different sessions run
+// independently, and nothing here serializes tenants against each other.
+type batcher struct {
+	sess *fuzzyfd.Session
+	opMu *sync.Mutex                  // the owning session's integrate/stream serializer
+	wg   *sync.WaitGroup              // the server's drain group; flights count against it
+	hook func()                       // test hook: runs before each flight integrates
+	done func(*fuzzyfd.Result, error) // metrics bridge, called once per flight
+
+	mu      sync.Mutex
+	cur     *flight // accumulating flight, not yet launched (nil when empty)
+	running bool    // a launched flight has not finished its chain step
+}
+
+// flight is one coalesced integration: the tables batched into it and the
+// shared outcome its waiters read after done closes.
+type flight struct {
+	tables []*fuzzyfd.Table
+	done   chan struct{}
+	res    *fuzzyfd.Result
+	err    error
+}
+
+// add batches the table into the current accumulating flight, launching it
+// if none is running, and waits for that flight's integration. All waiters
+// of a flight share one result. If ctx dies first, add returns its error —
+// but the table is already committed to the flight and will be integrated.
+func (b *batcher) add(ctx context.Context, tables ...*fuzzyfd.Table) (*fuzzyfd.Result, error) {
+	b.mu.Lock()
+	if b.cur == nil {
+		b.cur = &flight{done: make(chan struct{})}
+	}
+	b.cur.tables = append(b.cur.tables, tables...)
+	f := b.cur
+	if !b.running {
+		b.running = true
+		b.cur = nil
+		b.wg.Add(1)
+		go b.run(f)
+	}
+	b.mu.Unlock()
+
+	select {
+	case <-f.done:
+		return f.res, f.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// run executes one flight, then chains into whatever accumulated while it
+// ran. The next flight's wg.Add happens before this one's wg.Done, so the
+// drain group never reads zero mid-chain.
+func (b *batcher) run(f *flight) {
+	if b.hook != nil {
+		b.hook()
+	}
+	b.opMu.Lock()
+	b.sess.Add(f.tables...)
+	f.res, f.err = b.sess.IntegrateContext(context.Background())
+	b.opMu.Unlock()
+	if b.done != nil {
+		b.done(f.res, f.err)
+	}
+	close(f.done)
+
+	b.mu.Lock()
+	next := b.cur
+	if next != nil {
+		b.cur = nil
+		b.wg.Add(1)
+		go b.run(next)
+	} else {
+		b.running = false
+	}
+	b.mu.Unlock()
+	b.wg.Done()
+}
+
+// idle reports whether no flight is running or accumulating — the
+// eviction-safety check.
+func (b *batcher) idle() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return !b.running && b.cur == nil
+}

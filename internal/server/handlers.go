@@ -1,0 +1,375 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"fuzzyfd"
+	"fuzzyfd/internal/table"
+)
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/sessions", s.handleListSessions)
+	s.mux.HandleFunc("PUT /v1/sessions/{name}", s.handleCreateSession)
+	s.mux.HandleFunc("GET /v1/sessions/{name}", s.handleGetSession)
+	s.mux.HandleFunc("DELETE /v1/sessions/{name}", s.handleDeleteSession)
+	s.mux.HandleFunc("POST /v1/sessions/{name}/tables", s.handleAddTables)
+	s.mux.HandleFunc("GET /v1/sessions/{name}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/sessions/{name}/events", s.handleEvents)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// sessionInfo is the JSON shape of a session in GET responses.
+type sessionInfo struct {
+	Name             string    `json:"name"`
+	Created          time.Time `json:"created"`
+	Tables           int       `json:"tables"`
+	Integrations     int       `json:"integrations"`
+	Rows             int       `json:"rows"`
+	Components       int       `json:"components"`
+	ClosureTuples    int       `json:"closure_tuples"`
+	ReclosedTuples   int       `json:"reclosed_tuples"`
+	PendingWaits     int       `json:"pending_waits"`
+	RewriteCacheHits int       `json:"rewrite_cache_hits"`
+}
+
+func info(c *session) sessionInfo {
+	st := c.sess.Stats()
+	return sessionInfo{
+		Name:             c.name,
+		Created:          c.created,
+		Tables:           c.sess.Tables(),
+		Integrations:     c.sess.Integrations(),
+		Rows:             st.Output,
+		Components:       st.Components,
+		ClosureTuples:    st.Closure,
+		ReclosedTuples:   st.ReclosedTuples,
+		PendingWaits:     st.PendingWaits,
+		RewriteCacheHits: c.sess.RewriteCacheHits(),
+	}
+}
+
+func (s *Server) handleListSessions(w http.ResponseWriter, _ *http.Request) {
+	list := s.reg.list()
+	sort.Slice(list, func(i, j int) bool { return list[i].name < list[j].name })
+	infos := make([]sessionInfo, len(list))
+	for i, c := range list {
+		infos[i] = info(c)
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.track()
+	if !ok {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	defer release()
+	name := r.PathValue("name")
+	var opts sessionOptions
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&opts); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, "session options: %v", err)
+		return
+	}
+	c, created, full, err := s.reg.put(name, func() (*session, error) {
+		return s.newSession(name, opts)
+	})
+	switch {
+	case full:
+		writeError(w, http.StatusTooManyRequests, "session limit %d reached", s.cfg.MaxSessions)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "session options: %v", err)
+		return
+	}
+	if created {
+		s.met.sessionCreated(name)
+		writeJSON(w, http.StatusCreated, info(c))
+		return
+	}
+	writeJSON(w, http.StatusOK, info(c))
+}
+
+// newSession assembles one tenant: hub, fuzzyfd session, batcher, metrics
+// wiring.
+func (s *Server) newSession(name string, opts sessionOptions) (*session, error) {
+	c := &session{name: name}
+	c.hub = newHub(func() { s.met.sseDropped.With(name).Inc() })
+	fs, err := s.buildSession(opts, c.hub)
+	if err != nil {
+		return nil, err
+	}
+	c.sess = fs
+	c.bat = &batcher{
+		sess: fs,
+		opMu: &c.opMu,
+		wg:   &s.inflight,
+		hook: s.hookFor(name),
+		done: func(res *fuzzyfd.Result, err error) { s.met.onIntegrated(name, fs, res, err) },
+	}
+	return c, nil
+}
+
+// hookFor reads the test hook under the server lock so tests can install
+// it race-free after New.
+func (s *Server) hookFor(name string) func() {
+	return func() {
+		s.mu.Lock()
+		h := s.testHookIntegrate
+		s.mu.Unlock()
+		if h != nil {
+			h(name)
+		}
+	}
+}
+
+// setIntegrateHook installs the pre-integration test hook.
+func (s *Server) setIntegrateHook(h func(session string)) {
+	s.mu.Lock()
+	s.testHookIntegrate = h
+	s.mu.Unlock()
+}
+
+func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	c := s.reg.get(r.PathValue("name"))
+	if c == nil {
+		writeError(w, http.StatusNotFound, "no session %q", r.PathValue("name"))
+		return
+	}
+	writeJSON(w, http.StatusOK, info(c))
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.track()
+	if !ok {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	defer release()
+	name := r.PathValue("name")
+	if s.reg.remove(name) == nil {
+		writeError(w, http.StatusNotFound, "no session %q", name)
+		return
+	}
+	s.met.sessionEvicted(name)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleAddTables(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.track()
+	if !ok {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	defer release()
+	name := r.PathValue("name")
+	c := s.reg.get(name)
+	if c == nil {
+		writeError(w, http.StatusNotFound, "no session %q", name)
+		return
+	}
+	tableName := r.URL.Query().Get("table")
+	if tableName == "" {
+		tableName = fmt.Sprintf("t%d", c.sess.Tables()+1)
+	}
+	tbl, err := fuzzyfd.ReadJSONL(r.Body, tableName)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "table body: %v", err)
+		return
+	}
+	s.met.addRequests.With(name).Inc()
+	res, err := c.bat.add(r.Context(), tbl)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, fuzzyfd.ErrTupleBudget) {
+			status = http.StatusUnprocessableEntity
+		}
+		writeError(w, status, "integrate: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"session":          name,
+		"table":            tableName,
+		"tables":           c.sess.Tables(),
+		"integrations":     c.sess.Integrations(),
+		"rows":             res.FDStats.Output,
+		"components":       res.FDStats.Components,
+		"closure_tuples":   res.FDStats.Closure,
+		"dirty_components": res.FDStats.DirtyComponents,
+		"reclosed_tuples":  res.FDStats.ReclosedTuples,
+	})
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.track()
+	if !ok {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	defer release()
+	name := r.PathValue("name")
+	c := s.reg.get(name)
+	if c == nil {
+		writeError(w, http.StatusNotFound, "no session %q", name)
+		return
+	}
+	accept := r.Header.Get("Accept")
+	if strings.Contains(accept, "application/jsonl") || strings.Contains(accept, "application/x-ndjson") {
+		s.streamResult(w, r, c)
+		return
+	}
+	c.opMu.Lock()
+	res := c.sess.Last()
+	var err error
+	if res == nil {
+		res, err = c.sess.Integrate()
+	}
+	c.opMu.Unlock()
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, fuzzyfd.ErrNoTables) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, "integrate: %v", err)
+		return
+	}
+	rows := make([]map[string]string, len(res.Table.Rows))
+	for i, row := range res.Table.Rows {
+		rows[i] = table.RowObject(res.Table.Columns, row)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"columns": res.Table.Columns,
+		"rows":    rows,
+		"stats":   res.FDStats,
+	})
+}
+
+// streamResult emits the session's integrated rows as JSON Lines via
+// Session.StreamContext: (re)closed components flow out as their closures
+// finish, clean components replay from the session cache. The stream holds
+// the session's opMu, so it observes exactly one integration state and
+// concurrent adds wait rather than mutating mid-stream.
+func (s *Server) streamResult(w http.ResponseWriter, r *http.Request, c *session) {
+	c.opMu.Lock()
+	defer c.opMu.Unlock()
+	// Rows buffer until the first flush, so an error before any row can
+	// still replace the headers with a JSON error response.
+	w.Header().Set("Content-Type", "application/jsonl")
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	n, flushed := 0, false
+	flush := func() {
+		bw.Flush()
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		flushed = true
+	}
+	_, err := c.sess.StreamContext(r.Context(), func(schema fuzzyfd.Schema, row fuzzyfd.Row, _ []fuzzyfd.TID) error {
+		if err := enc.Encode(table.RowObject(schema.Columns, row)); err != nil {
+			return err
+		}
+		n++
+		if n%128 == 0 {
+			flush()
+		}
+		return nil
+	})
+	if err != nil && !flushed && n == 0 {
+		status := http.StatusInternalServerError
+		if errors.Is(err, fuzzyfd.ErrNoTables) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, "stream: %v", err)
+		return
+	}
+	bw.Flush()
+	s.met.rowsStreamed.With(c.name).Add(float64(n))
+}
+
+// handleEvents serves the session's progress stream as Server-Sent Events:
+// one "progress" event per fuzzyfd.ProgressEvent, live from integrations
+// coalesced while the subscriber is connected. The stream ends when the
+// client goes away or the server drains.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.track()
+	if !ok {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	defer release()
+	name := r.PathValue("name")
+	c := s.reg.get(name)
+	if c == nil {
+		writeError(w, http.StatusNotFound, "no session %q", name)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, ": fuzzyfdd session %s\n\n", name)
+	fl.Flush()
+	ch, cancel := c.hub.subscribe()
+	defer cancel()
+	for {
+		select {
+		case ev := <-ch:
+			data, err := json.Marshal(map[string]any{
+				"phase":          ev.Phase,
+				"done":           ev.Done,
+				"elapsed_ms":     ev.Elapsed.Milliseconds(),
+				"component":      ev.Component,
+				"components":     ev.Components,
+				"closure_tuples": ev.ClosureTuples,
+			})
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: progress\ndata: %s\n\n", data); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		case <-s.drainCh:
+			return
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package server
+
+import (
+	"sync"
+
+	"fuzzyfd"
+)
+
+// subBuffer is each SSE subscriber's event buffer. Progress callbacks run
+// on the integrating goroutine and must never block, so a subscriber that
+// falls further behind than this loses events (counted, not silently).
+const subBuffer = 256
+
+// hub fans a session's progress events out to its SSE subscribers with
+// non-blocking sends. fuzzyfd.WithProgress wires publish straight into the
+// session, so subscribers watch integrations live.
+type hub struct {
+	mu      sync.Mutex
+	subs    map[chan fuzzyfd.ProgressEvent]struct{}
+	dropped func() // counts events lost to slow subscribers
+}
+
+func newHub(dropped func()) *hub {
+	return &hub{subs: make(map[chan fuzzyfd.ProgressEvent]struct{}), dropped: dropped}
+}
+
+// publish delivers ev to every subscriber that has buffer room. It is the
+// session's progress callback, so it must stay fast and non-blocking.
+func (h *hub) publish(ev fuzzyfd.ProgressEvent) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for ch := range h.subs {
+		select {
+		case ch <- ev:
+		default:
+			if h.dropped != nil {
+				h.dropped()
+			}
+		}
+	}
+}
+
+// subscribe registers a new subscriber, returning its event channel and a
+// cancel that must be called when the consumer goes away.
+func (h *hub) subscribe() (<-chan fuzzyfd.ProgressEvent, func()) {
+	ch := make(chan fuzzyfd.ProgressEvent, subBuffer)
+	h.mu.Lock()
+	h.subs[ch] = struct{}{}
+	h.mu.Unlock()
+	return ch, func() {
+		h.mu.Lock()
+		delete(h.subs, ch)
+		h.mu.Unlock()
+	}
+}

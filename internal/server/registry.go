@@ -1,0 +1,126 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"fuzzyfd"
+)
+
+// session is one tenant: a fuzzyfd.Session plus its serving adjuncts — the
+// ingestion batcher, the progress fan-out hub, and bookkeeping for idle
+// eviction. opMu serializes integrations and result streams within the
+// session, so a stream always observes exactly one integration state
+// (fuzzyfd.Session tolerates the overlap, but a serving result must be a
+// one-to-one multiset of a single state); sessions never serialize against
+// each other.
+type session struct {
+	name string
+	sess *fuzzyfd.Session
+	bat  *batcher
+	hub  *hub
+	opMu sync.Mutex
+
+	mu       sync.Mutex
+	lastUsed time.Time
+	created  time.Time
+}
+
+// touch records a request against idle eviction.
+func (c *session) touch() {
+	c.mu.Lock()
+	c.lastUsed = time.Now()
+	c.mu.Unlock()
+}
+
+func (c *session) idleSince() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastUsed
+}
+
+// registry is the named-session table with the tenant cap.
+type registry struct {
+	mu       sync.Mutex
+	sessions map[string]*session
+	max      int
+}
+
+// get returns the named session, touching it, or nil.
+func (r *registry) get(name string) *session {
+	r.mu.Lock()
+	c := r.sessions[name]
+	r.mu.Unlock()
+	if c != nil {
+		c.touch()
+	}
+	return c
+}
+
+// put inserts a session built by mk under name. It reports created=false
+// if the name already exists (the existing session is returned — creation
+// is idempotent) and full=true when the tenant cap blocks a new one. mk
+// runs outside the registry lock only in spirit — construction is cheap,
+// and holding the lock keeps create-vs-create races trivially correct.
+func (r *registry) put(name string, mk func() (*session, error)) (c *session, created, full bool, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.sessions[name]; c != nil {
+		c.touch()
+		return c, false, false, nil
+	}
+	if len(r.sessions) >= r.max {
+		return nil, false, true, nil
+	}
+	c, err = mk()
+	if err != nil {
+		return nil, false, false, err
+	}
+	now := time.Now()
+	c.created, c.lastUsed = now, now
+	r.sessions[name] = c
+	return c, true, false, nil
+}
+
+// remove deletes and returns the named session, or nil.
+func (r *registry) remove(name string) *session {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.sessions[name]
+	delete(r.sessions, name)
+	return c
+}
+
+// list snapshots the sessions sorted by nothing in particular; callers
+// sort for presentation.
+func (r *registry) list() []*session {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*session, 0, len(r.sessions))
+	for _, c := range r.sessions {
+		out = append(out, c)
+	}
+	return out
+}
+
+func (r *registry) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.sessions)
+}
+
+// evictIdle removes sessions idle longer than ttl with no batcher work in
+// flight, returning the evicted set.
+func (r *registry) evictIdle(ttl time.Duration) []*session {
+	cutoff := time.Now().Add(-ttl)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var evicted []*session
+	for name, c := range r.sessions {
+		if c.idleSince().Before(cutoff) && c.bat.idle() {
+			delete(r.sessions, name)
+			evicted = append(evicted, c)
+		}
+	}
+	return evicted
+}

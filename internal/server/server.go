@@ -1,0 +1,207 @@
+// Package server implements fuzzyfdd, the long-lived integration daemon:
+// named multi-tenant sessions over the public fuzzyfd API, batched
+// ingestion that coalesces concurrent table-adds into single incremental
+// integrations, delta streaming of results as JSON Lines and progress as
+// Server-Sent Events, Prometheus-format metrics, and graceful drain.
+//
+// The package is deliberately a thin serving shell: every integration
+// concept — sessions, incremental re-closure, streaming, budgets, stats —
+// comes from the fuzzyfd package, and the server adds only what a daemon
+// needs (a registry with tenant limits, request coalescing, fan-out, and
+// lifecycle). Handlers speak plain net/http; the daemon binary in
+// cmd/fuzzyfdd wires signals and flags around it.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"fuzzyfd"
+)
+
+// Config bounds and defaults for a Server. The zero value is usable:
+// defaults are filled by New.
+type Config struct {
+	// MaxSessions caps live sessions; creating beyond it returns 429.
+	// Default 64.
+	MaxSessions int
+	// IdleTTL evicts sessions with no requests for this long. Zero
+	// disables eviction.
+	IdleTTL time.Duration
+	// TupleBudget is the default per-session Full Disjunction tuple
+	// budget (fuzzyfd.WithTupleBudget); zero runs unbounded. A session's
+	// creation request may lower it but not exceed it.
+	TupleBudget int
+	// Workers is the default fuzzyfd.WithParallelFD worker count for new
+	// sessions; zero leaves the closure sequential.
+	Workers int
+}
+
+// Server hosts the fuzzyfdd HTTP API. Create with New, serve its Handler,
+// and call Drain then Close on shutdown.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+	reg *registry
+	met *serverMetrics
+
+	mu       sync.Mutex
+	draining bool
+	drainCh  chan struct{}  // closed when draining begins; unblocks SSE loops
+	inflight sync.WaitGroup // tracked requests + batcher flights
+
+	stopJanitor chan struct{}
+	janitorDone chan struct{}
+
+	// testHookIntegrate, when set, runs on the batcher goroutine
+	// immediately before each coalesced integration — tests use it to
+	// hold a flight open so concurrent adds pile onto the next one.
+	testHookIntegrate func(session string)
+}
+
+// New builds a Server with its routes registered and, if cfg.IdleTTL is
+// set, the idle-eviction janitor running.
+func New(cfg Config) *Server {
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 64
+	}
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		met:     newServerMetrics(),
+		drainCh: make(chan struct{}),
+	}
+	s.reg = &registry{sessions: make(map[string]*session), max: cfg.MaxSessions}
+	s.routes()
+	if cfg.IdleTTL > 0 {
+		s.stopJanitor = make(chan struct{})
+		s.janitorDone = make(chan struct{})
+		go s.janitor()
+	}
+	return s
+}
+
+// ServeHTTP makes the Server an http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Drain stops accepting state-changing requests (they get 503) and waits
+// for in-flight requests and coalesced integrations to finish, or for ctx
+// to expire — the SIGTERM half of graceful shutdown; pair it with
+// http.Server.Shutdown for the listener half.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.drainCh)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("fuzzyfdd: drain: %w", ctx.Err())
+	}
+}
+
+// Close stops the janitor. It does not wait for requests; call Drain first.
+func (s *Server) Close() {
+	if s.stopJanitor != nil {
+		close(s.stopJanitor)
+		<-s.janitorDone
+		s.stopJanitor = nil
+	}
+}
+
+// track registers a state-changing request against drain. It returns
+// false — and the caller must 503 — once draining has begun.
+func (s *Server) track() (func(), bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, false
+	}
+	s.inflight.Add(1)
+	return s.inflight.Done, true
+}
+
+// janitor evicts idle sessions every quarter-TTL (at least every 10ms, so
+// tests with tiny TTLs stay prompt).
+func (s *Server) janitor() {
+	defer close(s.janitorDone)
+	tick := s.cfg.IdleTTL / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopJanitor:
+			return
+		case <-t.C:
+			for _, sess := range s.reg.evictIdle(s.cfg.IdleTTL) {
+				s.met.sessionEvicted(sess.name)
+			}
+		}
+	}
+}
+
+// sessionOptions is the JSON body of PUT /v1/sessions/{name}; zero fields
+// take server defaults.
+type sessionOptions struct {
+	// Equi selects the equi-join baseline (no fuzzy value matching).
+	Equi bool `json:"equi,omitempty"`
+	// Threshold is the value-matching θ in (0, 1].
+	Threshold float64 `json:"threshold,omitempty"`
+	// Model names the embedding model (fuzzyfd.Models lists them).
+	Model string `json:"model,omitempty"`
+	// Workers overrides the server's default FD worker count.
+	Workers int `json:"workers,omitempty"`
+	// Budget overrides the tuple budget; it may not exceed the server's
+	// configured TupleBudget when one is set.
+	Budget int `json:"budget,omitempty"`
+	// ContentAlign aligns columns by content instead of header names.
+	ContentAlign bool `json:"content_align,omitempty"`
+}
+
+// buildSession turns creation options into a fuzzyfd.Session wired to the
+// session's progress hub.
+func (s *Server) buildSession(o sessionOptions, h *hub) (*fuzzyfd.Session, error) {
+	var opts []fuzzyfd.Option
+	if o.Equi {
+		opts = append(opts, fuzzyfd.WithEquiJoin())
+	}
+	if o.Threshold != 0 {
+		opts = append(opts, fuzzyfd.WithThreshold(o.Threshold))
+	}
+	if o.Model != "" {
+		opts = append(opts, fuzzyfd.WithModel(o.Model))
+	}
+	if o.ContentAlign {
+		opts = append(opts, fuzzyfd.WithContentAlignment(true))
+	}
+	workers := o.Workers
+	if workers == 0 {
+		workers = s.cfg.Workers
+	}
+	if workers > 0 {
+		opts = append(opts, fuzzyfd.WithParallelFD(workers))
+	}
+	budget := o.Budget
+	if s.cfg.TupleBudget > 0 && (budget <= 0 || budget > s.cfg.TupleBudget) {
+		budget = s.cfg.TupleBudget
+	}
+	if budget > 0 {
+		opts = append(opts, fuzzyfd.WithTupleBudget(budget))
+	}
+	opts = append(opts, fuzzyfd.WithProgress(h.publish))
+	return fuzzyfd.NewSession(opts...)
+}

@@ -1,0 +1,116 @@
+package fuzzyfd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"fuzzyfd/internal/datagen"
+)
+
+// streamLines drains Session.StreamContext into a sorted multiset of
+// row+provenance lines.
+func streamLines(t *testing.T, s *Session) ([]string, *Result) {
+	t.Helper()
+	var lines []string
+	res, err := s.StreamContext(context.Background(), func(schema Schema, row Row, prov []TID) error {
+		key := ""
+		for _, c := range row {
+			if c.IsNull {
+				key += "\x00⊥"
+			} else {
+				key += "\x00" + c.Val
+			}
+		}
+		lines = append(lines, key+"|"+fmt.Sprint(prov))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(lines)
+	return lines, res
+}
+
+// resultLines renders a materialized Result the same way.
+func resultLines(res *Result) []string {
+	lines := make([]string, len(res.Table.Rows))
+	for i, row := range res.Table.Rows {
+		key := ""
+		for _, c := range row {
+			if c.IsNull {
+				key += "\x00⊥"
+			} else {
+				key += "\x00" + c.Val
+			}
+		}
+		lines[i] = key + "|" + fmt.Sprint(res.Prov[i])
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// TestSessionStreamMatchesIntegrate: Session.StreamContext emits the same
+// row-and-provenance multiset as Integrate at every batch of an
+// incremental feed — the first stream computes everything, later streams
+// emit re-closed components live and replay the clean remainder from the
+// session cache.
+func TestSessionStreamMatchesIntegrate(t *testing.T) {
+	tables := datagen.IMDB(datagen.IMDBConfig{Seed: 7, TotalTuples: 240})
+	for _, opts := range [][]Option{nil, {WithParallelFD(4)}, {WithEquiJoin()}} {
+		streamSess, err := NewSession(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracleSess, err := NewSession(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, batch := range chunkTables(tables, 2) {
+			streamSess.Add(batch...)
+			oracleSess.Add(batch...)
+			got, res := streamLines(t, streamSess)
+			want, err := oracleSess.Integrate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, resultLines(want)) {
+				t.Fatalf("streamed multiset differs from Integrate at %d tables", streamSess.Tables())
+			}
+			if res.Table != nil || res.Prov != nil {
+				t.Fatal("stream result carries a materialized table")
+			}
+			if res.FDStats.Output != len(got) {
+				t.Fatalf("stream FDStats.Output=%d, emitted %d", res.FDStats.Output, len(got))
+			}
+		}
+	}
+}
+
+// TestSessionStreamEmitError: a failing emit aborts with the sink error
+// and leaves the session able to integrate normally afterwards.
+func TestSessionStreamEmitError(t *testing.T) {
+	s, err := NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewTable("a", "k", "x")
+	a.MustAppendRow(String("k1"), String("v1"))
+	b := NewTable("b", "k", "y")
+	b.MustAppendRow(String("k1"), String("v2"))
+	s.Add(a, b)
+	boom := errors.New("sink failed")
+	if _, err := s.StreamContext(context.Background(), func(Schema, Row, []TID) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("want sink error, got %v", err)
+	}
+	res, err := s.Integrate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() == 0 {
+		t.Fatal("session broken after aborted stream")
+	}
+}
