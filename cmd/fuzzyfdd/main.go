@@ -5,7 +5,16 @@
 // result back as JSON Lines, follow progress over Server-Sent Events, and
 // scrape Prometheus metrics from /metrics.
 //
-//	fuzzyfdd -addr :8080 -max-sessions 64 -idle-ttl 30m -budget 5000000
+//	fuzzyfdd -addr :8080 -max-sessions 64 -idle-ttl 30m -budget 5000000 \
+//	         -data-dir /var/lib/fuzzyfdd -request-timeout 2m
+//
+// With -data-dir every session is durable: each table-add is written to a
+// checksummed write-ahead log and fsync'd before the request is
+// acknowledged, the accumulated state is periodically compacted into
+// snapshots, and after a crash or restart the daemon lazily reopens each
+// named session — recovering it from its snapshot and log tail — on its
+// first request. DELETE removes a session's on-disk state; idle eviction
+// merely flushes it (the next request reopens it).
 //
 // Endpoints:
 //
@@ -46,6 +55,10 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain deadline on shutdown")
 	budget := flag.Int("budget", 0, "per-session tuple budget ceiling (0 unbounded)")
 	workers := flag.Int("workers", 0, "default FD workers per session (0 sequential)")
+	dataDir := flag.String("data-dir", "", "make sessions durable under this directory; they survive restarts")
+	requestTimeout := flag.Duration("request-timeout", 0, "bound ingestion/result requests; exceeded requests get 504 (0 unbounded)")
+	maxLineBytes := flag.Int("max-line-bytes", 0, "max bytes of one ingested JSONL line (0: 4MiB default)")
+	maxRows := flag.Int("max-rows", 0, "max rows of one ingested table (0 unlimited)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "usage: fuzzyfdd [flags]\n")
@@ -54,10 +67,14 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		MaxSessions: *maxSessions,
-		IdleTTL:     *idleTTL,
-		TupleBudget: *budget,
-		Workers:     *workers,
+		MaxSessions:    *maxSessions,
+		IdleTTL:        *idleTTL,
+		TupleBudget:    *budget,
+		Workers:        *workers,
+		DataDir:        *dataDir,
+		RequestTimeout: *requestTimeout,
+		MaxLineBytes:   *maxLineBytes,
+		MaxRows:        *maxRows,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv}
 

@@ -163,11 +163,23 @@ func ReadJSONL(r io.Reader, name string) (*Table, error) {
 	return table.ReadJSONL(r, name)
 }
 
+// JSONLLimits bounds a JSONL parse: MaxLineBytes caps one line (default
+// 4 MiB), MaxRows caps the row count (0 = unlimited). Servers ingesting
+// untrusted streams should set both.
+type JSONLLimits = table.JSONLLimits
+
+// ReadJSONLLimited is ReadJSONL with explicit parse limits. Parse errors
+// name the 1-based offending line.
+func ReadJSONLLimited(r io.Reader, name string, lim JSONLLimits) (*Table, error) {
+	return table.ReadJSONLLimited(r, name, lim)
+}
+
 // Option configures Integrate and MatchValues.
 type Option func(*options) error
 
 type options struct {
 	cfg core.Config
+	dur core.Durability
 }
 
 // WithModel selects the embedding model by name (ModelMistral by default).
@@ -351,12 +363,20 @@ func WithLexiconWeight(w float64) Option {
 	}
 }
 
-func buildOptions(opts []Option) (core.Config, error) {
+func buildOpts(opts []Option) (*options, error) {
 	var o options
 	for _, opt := range opts {
 		if err := opt(&o); err != nil {
-			return core.Config{}, err
+			return nil, err
 		}
+	}
+	return &o, nil
+}
+
+func buildOptions(opts []Option) (core.Config, error) {
+	o, err := buildOpts(opts)
+	if err != nil {
+		return core.Config{}, err
 	}
 	return o.cfg, nil
 }
@@ -467,9 +487,79 @@ func NewSession(opts ...Option) (*Session, error) {
 	return &Session{s: core.NewSession(cfg)}, nil
 }
 
+// Durability tunes a durable session opened with OpenSession.
+type Durability struct {
+	// SnapshotEvery is the number of logged adds between automatic
+	// compactions of the log into a snapshot (taken after an Integrate). 0
+	// means a sensible default; negative disables automatic snapshots —
+	// Flush and Close still take them.
+	SnapshotEvery int
+	// NoSync skips fsyncs. A crash may then lose acknowledged adds (never
+	// corrupt the session directory); for tests and throwaway sessions.
+	NoSync bool
+}
+
+// WithDurability tunes the durability of a session opened with OpenSession.
+// It has no effect on NewSession or one-shot Integrate calls.
+func WithDurability(d Durability) Option {
+	return func(o *options) error {
+		o.dur.SnapshotEvery = d.SnapshotEvery
+		o.dur.NoSync = d.NoSync
+		return nil
+	}
+}
+
+// OpenSession opens a crash-safe session persisted under dir, creating the
+// directory if needed and recovering the prior state otherwise. Every
+// Append (and Add) is written to a checksummed log and fsync'd before it is
+// acknowledged; the log periodically compacts into a snapshot that also
+// stores the Full Disjunction index's per-component closure results, so
+// reopening a large session skips most of the recomputation (see
+// FDStats.RestoredComps). Recovery after a crash keeps every acknowledged
+// add and loses at most the one a crash interrupted: a torn final log
+// record is truncated, never an error.
+//
+// The recovered session accepts the same options as NewSession; use the
+// same ones it was created with — matching configuration maximizes how much
+// snapshotted closure work can be adopted (a changed configuration is still
+// safe: content digests catch every divergence and the affected components
+// simply recompute).
+func OpenSession(dir string, opts ...Option) (*Session, error) {
+	o, err := buildOpts(opts)
+	if err != nil {
+		return nil, err
+	}
+	s, err := core.OpenSession(o.cfg, dir, o.dur)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{s: s}, nil
+}
+
 // Add appends tables to the session's integration set without computing
-// anything; the next Integrate folds them in.
+// anything; the next Integrate folds them in. On a durable session a
+// persistence failure cannot be reported here and instead fails every
+// later Integrate; durable callers should prefer Append.
 func (s *Session) Add(tables ...*Table) { s.s.Add(tables...) }
+
+// Append is Add with the durability error surfaced: on a durable session
+// the batch is logged and fsync'd before it is acknowledged, and an error
+// means the batch is neither on disk nor in the integration set — safe to
+// retry. On an in-memory session it never fails.
+func (s *Session) Append(tables ...*Table) error { return s.s.Append(tables...) }
+
+// Flush compacts any adds logged since the last snapshot into a new
+// snapshot. In-memory sessions no-op.
+func (s *Session) Flush() error { return s.s.Flush() }
+
+// Close flushes and releases a durable session's store; the session
+// afterwards rejects new adds but still serves reads. In-memory sessions
+// only reject further adds. Close is idempotent.
+func (s *Session) Close() error { return s.s.Close() }
+
+// Durable reports whether the session persists its adds (true exactly for
+// OpenSession sessions).
+func (s *Session) Durable() bool { return s.s.Durable() }
 
 // Tables reports the number of tables added so far.
 func (s *Session) Tables() int { return s.s.Tables() }

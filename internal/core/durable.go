@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+
+	"fuzzyfd/internal/table"
+	"fuzzyfd/internal/wal"
+)
+
+// Durability configures the crash-safety of a session opened with
+// OpenSession: every Add is appended to a checksummed write-ahead log and
+// fsync'd before it is acknowledged, and the accumulated state is
+// periodically compacted into a snapshot so reopening replays a short log
+// tail instead of the whole history.
+type Durability struct {
+	// SnapshotEvery is the number of durable log frames between automatic
+	// snapshots (taken after an Integrate, when component closures are
+	// clean and exportable). 0 means the default of 16; negative disables
+	// automatic snapshots — Flush and Close still take them.
+	SnapshotEvery int
+	// NoSync skips fsyncs for throwaway or test sessions; a crash may then
+	// lose acknowledged adds (never corrupt the store).
+	NoSync bool
+	// FS overrides the filesystem — fault-injecting test filesystems plug
+	// in here. Nil means the operating system's.
+	FS wal.FS
+}
+
+// defaultSnapshotEvery balances reopen cost (replaying a log tail re-runs
+// ingest only; closures restore from the snapshot) against snapshot write
+// amplification (each snapshot rewrites the accumulated tables).
+const defaultSnapshotEvery = 16
+
+// OpenSession opens a durable session backed by dir, creating it if empty
+// and recovering it otherwise. Recovery loads the latest committed
+// snapshot, replays the log tail, and truncates a torn final record — a
+// crash loses at most the Add it interrupted, never an acknowledged one.
+// The first Integrate after a reopen re-ingests the recovered tables and
+// adopts the snapshot's exported component closures wherever their content
+// digests still match, re-closing only what the replayed tail touched (see
+// FDStats.RestoredComps).
+func OpenSession(cfg Config, dir string, d Durability) (*Session, error) {
+	store, rec, err := wal.Open(dir, wal.Options{FS: d.FS, NoSync: d.NoSync})
+	if err != nil {
+		return nil, err
+	}
+	s := NewSession(cfg)
+	s.store = store
+	s.snapEvery = d.SnapshotEvery
+	if s.snapEvery == 0 {
+		s.snapEvery = defaultSnapshotEvery
+	}
+	s.tables = rec.Tables
+	s.idx.RestoreComponents(rec.Comps)
+	return s, nil
+}
+
+// Append appends tables to the integration set, making them durable first
+// when the session has a store: the batch is logged and fsync'd before it
+// joins the in-memory set, so an error means the batch is in neither — the
+// caller can retry or surface it, and the session stays consistent.
+func (s *Session) Append(tables ...*table.Table) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("core: session is closed")
+	}
+	if s.store != nil {
+		if err := s.store.AppendAdd(tables); err != nil {
+			return err
+		}
+	}
+	s.tables = append(s.tables, tables...)
+	return nil
+}
+
+// Durable reports whether the session persists its adds.
+func (s *Session) Durable() bool { return s.store != nil }
+
+// Flush forces a snapshot covering every acknowledged add, if any log
+// frames are outstanding. In-memory sessions no-op.
+func (s *Session) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshotLocked(false)
+}
+
+// Close flushes outstanding log frames into a snapshot and releases the
+// store. Further Append/Add calls fail; read-side calls keep working.
+// In-memory sessions no-op. Close is idempotent.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.store == nil {
+		s.closed = true
+		return nil
+	}
+	err := s.snapshotLocked(false)
+	if cerr := s.store.Close(); err == nil {
+		err = cerr
+	}
+	s.closed = true
+	return err
+}
+
+// maybeSnapshot compacts the log into a snapshot when enough frames have
+// accumulated. Called after a successful Integrate — the one point where
+// the index's component closures are clean and exportable — and required
+// to be non-fatal: a failed snapshot leaves the log authoritative and is
+// simply retried after the next Integrate.
+func (s *Session) maybeSnapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshotLocked(true)
+}
+
+// snapshotLocked writes a snapshot of the current session state. With auto
+// set, it first checks the frame threshold. Callers hold s.mu, which
+// excludes Append: everything in s.tables is already WAL-durable, so the
+// snapshot never claims state the log does not cover.
+func (s *Session) snapshotLocked(auto bool) error {
+	if s.store == nil || s.closed {
+		return nil
+	}
+	if s.store.FramesSinceSnapshot() == 0 {
+		return nil
+	}
+	if auto && (s.snapEvery < 0 || s.store.FramesSinceSnapshot() < s.snapEvery) {
+		return nil
+	}
+	// Exported components cover at most the tables of the last completed
+	// Update — a subset of s.tables — and adoption digest-checks each one,
+	// so exporting here is safe even if another Integrate is mid-flight.
+	return s.store.Snapshot(s.tables, s.idx.ExportComponents())
+}

@@ -15,6 +15,7 @@ import (
 	"fuzzyfd/internal/fd"
 	"fuzzyfd/internal/match"
 	"fuzzyfd/internal/table"
+	"fuzzyfd/internal/wal"
 )
 
 // Session is the resumable form of the pipeline: a long-lived object that
@@ -61,6 +62,13 @@ type Session struct {
 
 	integrations int
 	rewriteHits  int
+
+	// Durable-session state (nil store for plain in-memory sessions; see
+	// OpenSession in durable.go).
+	store     *wal.Store
+	snapEvery int
+	closed    bool
+	addErr    error // first Add batch lost to a log failure; poisons Integrate
 }
 
 // rewriteEntry caches one table's rewritten view, keyed by a digest of the
@@ -90,10 +98,20 @@ func NewSession(cfg Config) *Session {
 
 // Add appends tables to the session's integration set. It performs no
 // computation; the next Integrate folds the new tables in.
+//
+// On a durable session Add must persist the batch and has no way to report
+// a persistence failure, so the first failure is remembered and surfaced by
+// every later Integrate — the batch was dropped, and silently integrating
+// without it would misreport the result. Durable callers should prefer
+// Append, which returns the error.
 func (s *Session) Add(tables ...*table.Table) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.tables = append(s.tables, tables...)
+	if err := s.Append(tables...); err != nil {
+		s.mu.Lock()
+		if s.addErr == nil {
+			s.addErr = err
+		}
+		s.mu.Unlock()
+	}
 }
 
 // Tables reports the number of tables added so far.
@@ -175,6 +193,11 @@ func (s *Session) IntegrateContext(ctx context.Context) (*Result, error) {
 	s.integrations++
 	s.last = res
 	s.mu.Unlock()
+
+	// Durable sessions compact here — the one point where the index's
+	// closures are clean and exportable. A snapshot failure is non-fatal
+	// (the log remains authoritative) and is retried next time.
+	s.maybeSnapshot()
 	return res, nil
 }
 
@@ -227,6 +250,9 @@ func (s *Session) StreamContext(ctx context.Context, emit func(schema fd.Schema,
 // the FD stage should consume and a Result with the schema, match
 // diagnostics, and stage timings filled in. Callers must hold s.mu.
 func (s *Session) prepare(ctx context.Context) ([]*table.Table, fd.Schema, *Result, error) {
+	if s.addErr != nil {
+		return nil, fd.Schema{}, nil, fmt.Errorf("core: an added batch was lost by the session log: %w", s.addErr)
+	}
 	if len(s.tables) == 0 {
 		return nil, fd.Schema{}, nil, ErrNoTables
 	}

@@ -285,6 +285,7 @@ type Stats struct {
 	PivotMinted      int // buckets minted mid-closure by merged tuples carrying (list, pivot) pairs absent at seeding
 	Subsumed         int // tuples removed by subsumption
 	PendingWaits     int // times an incremental Update waited on components claimed by concurrent Updates (0 for one-shot runs and disjoint concurrent Updates)
+	RestoredComps    int // components adopted from a staged snapshot export instead of (re)closed (durable-session recovery)
 	Output           int
 	Elapsed          time.Duration
 }

@@ -85,6 +85,11 @@ type Index struct {
 
 	comps    map[int]*cachedComp // by smallest member base id at last close
 	rebuilds int                 // verification failures that forced a full rebuild
+
+	// restored stages snapshot-exported component closures for adoption by
+	// the next Update, keyed by smallest member id (see persist.go). Entries
+	// are consumed — adopted or invalidated — on first examination.
+	restored map[int]*CompExport
 }
 
 // cachedComp is one component's state at the end of the last Update.
@@ -445,6 +450,7 @@ func (x *Index) reset() {
 	x.lastTables = nil
 	x.dirty = nil
 	x.claimed = nil
+	x.restored = nil // base ids shift under a rebuild; staged exports can never match
 	x.nCols = 0
 	x.started = false
 	x.rebuilds++
@@ -866,6 +872,10 @@ func (x *Index) closeLocked(ctx context.Context, opts Options, stats *Stats, onD
 					dirtyMember = true
 					break
 				}
+			}
+			if dirtyMember && x.restored != nil && x.adoptRestored(members) {
+				dirtyMember = false
+				stats.RestoredComps++
 			}
 			if !dirtyMember {
 				if c, ok := x.comps[members[0]]; ok && slices.Equal(c.members, members) {

@@ -1,0 +1,189 @@
+package fd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fuzzyfd/internal/table"
+)
+
+func persistFixture() []*table.Table {
+	t1 := table.New("t1", "k", "a")
+	t1.MustAppendRow(table.S("k1"), table.S("x"))
+	t1.MustAppendRow(table.S("k2"), table.S("y"))
+	t2 := table.New("t2", "k", "b")
+	t2.MustAppendRow(table.S("k1"), table.S("p"))
+	t2.MustAppendRow(table.S("k3"), table.S("q"))
+	t3 := table.New("t3", "a", "b")
+	t3.MustAppendRow(table.S("x"), table.S("p"))
+	t3.MustAppendRow(table.Null(), table.S("q"))
+	return []*table.Table{t1, t2, t3}
+}
+
+// Export on one index, restore on a fresh index fed the same tables: the
+// result must be byte-identical, and every component must be adopted from
+// the export rather than re-closed.
+func TestExportRestoreRoundtrip(t *testing.T) {
+	tables := persistFixture()
+	schema := IdentitySchema(tables)
+
+	x := NewIndex()
+	want, err := x.Update(tables, schema, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := x.ExportComponents()
+	if len(exp) == 0 {
+		t.Fatal("no components exported")
+	}
+
+	y := NewIndex()
+	y.RestoreComponents(exp)
+	got, err := y.Update(tables, schema, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resultsIdentical(got, want) {
+		t.Fatalf("restored result differs:\ngot\n%v %v\nwant\n%v %v",
+			got.Table, got.Prov, want.Table, want.Prov)
+	}
+	if got.Stats.RestoredComps != len(exp) {
+		t.Errorf("RestoredComps = %d, want %d (every export adopted)",
+			got.Stats.RestoredComps, len(exp))
+	}
+	if n := y.RestoredStaged(); n != 0 {
+		t.Errorf("%d staged exports left after update", n)
+	}
+}
+
+// A tampered digest must not be adopted — the component re-closes from its
+// base tuples and the output is still correct.
+func TestRestoreTamperedDigestRecloses(t *testing.T) {
+	tables := persistFixture()
+	schema := IdentitySchema(tables)
+
+	x := NewIndex()
+	want, err := x.Update(tables, schema, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := x.ExportComponents()
+	if len(exp) == 0 {
+		t.Fatal("no components exported")
+	}
+	for i := range exp {
+		exp[i].Digest[0] ^= 0xff
+	}
+
+	y := NewIndex()
+	y.RestoreComponents(exp)
+	got, err := y.Update(tables, schema, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resultsIdentical(got, want) {
+		t.Fatalf("result after rejected restore differs:\ngot\n%v %v\nwant\n%v %v",
+			got.Table, got.Prov, want.Table, want.Prov)
+	}
+	if got.Stats.RestoredComps != 0 {
+		t.Errorf("RestoredComps = %d, want 0 for tampered digests", got.Stats.RestoredComps)
+	}
+	if n := y.RestoredStaged(); n != 0 {
+		t.Errorf("%d staged exports left: mismatches must be consumed", n)
+	}
+}
+
+// Exports taken mid-stream stay safe when the replayed input keeps growing
+// past the snapshot point: extended components fail the digest check and
+// re-close, untouched ones adopt, and the final result is byte-identical
+// to an undisturbed index across random inputs and split points.
+func TestExportRestoreWithTailRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tables := randomTablesWithEmptyRows(r)
+		nBatches := 1 + r.Intn(3)
+		cut := 1 + r.Intn(nBatches) // snapshot after this batch
+
+		// Oracle: one index fed everything, batch by batch.
+		x := NewIndex()
+		var exp []CompExport
+		var want *Result
+		for k := 1; k <= nBatches; k++ {
+			view := accumulate(tables, nBatches, k)
+			var err error
+			want, err = x.Update(view, IdentitySchema(view), Options{})
+			if err != nil {
+				t.Logf("seed %d batch %d: %v", seed, k, err)
+				return false
+			}
+			if k == cut {
+				exp = x.ExportComponents()
+			}
+		}
+
+		// Recovered: fresh index, snapshot restored, all input replayed.
+		y := NewIndex()
+		y.RestoreComponents(exp)
+		view := accumulate(tables, nBatches, nBatches)
+		got, err := y.Update(view, IdentitySchema(view), Options{})
+		if err != nil {
+			t.Logf("seed %d recovered: %v", seed, err)
+			return false
+		}
+		if !resultsIdentical(got, want) {
+			t.Logf("seed %d cut %d/%d:\ngot\n%v %v\nwant\n%v %v",
+				seed, cut, nBatches, got.Table, got.Prov, want.Table, want.Prov)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Components dirtied after an export adopt nothing; the clean rest still
+// does. Exercises partial adoption on a disjoint two-component input.
+func TestExportRestorePartialAdoption(t *testing.T) {
+	t1 := table.New("t1", "k", "a")
+	t1.MustAppendRow(table.S("k1"), table.S("x"))
+	t2 := table.New("t2", "m", "b")
+	t2.MustAppendRow(table.S("m1"), table.S("z"))
+
+	x := NewIndex()
+	view := []*table.Table{t1, t2}
+	if _, err := x.Update(view, IdentitySchema(view), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	exp := x.ExportComponents()
+	if len(exp) != 2 {
+		t.Fatalf("exported %d components, want 2", len(exp))
+	}
+
+	// Grow t2's component past the snapshot point with a joinable row, so
+	// its membership (and digest) no longer match the export.
+	t2b := table.New("t2", "m", "b")
+	t2b.MustAppendRow(table.S("m1"), table.S("z"))
+	t2b.MustAppendRow(table.S("m1"), table.Null())
+	grown := []*table.Table{t1, t2b}
+	want, err := x.Update(grown, IdentitySchema(grown), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	y := NewIndex()
+	y.RestoreComponents(exp)
+	got, err := y.Update(grown, IdentitySchema(grown), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resultsIdentical(got, want) {
+		t.Fatalf("partial adoption differs:\ngot\n%v %v\nwant\n%v %v",
+			got.Table, got.Prov, want.Table, want.Prov)
+	}
+	if got.Stats.RestoredComps != 1 {
+		t.Errorf("RestoredComps = %d, want 1 (t1's component adopts, t2's re-closes)",
+			got.Stats.RestoredComps)
+	}
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"sync"
 
 	"fuzzyfd"
@@ -17,11 +18,12 @@ import (
 // Coalescing is strictly per session: flights of different sessions run
 // independently, and nothing here serializes tenants against each other.
 type batcher struct {
-	sess *fuzzyfd.Session
-	opMu *sync.Mutex                  // the owning session's integrate/stream serializer
-	wg   *sync.WaitGroup              // the server's drain group; flights count against it
-	hook func()                       // test hook: runs before each flight integrates
-	done func(*fuzzyfd.Result, error) // metrics bridge, called once per flight
+	sess     *fuzzyfd.Session
+	opMu     *sync.Mutex                  // the owning session's integrate/stream serializer
+	wg       *sync.WaitGroup              // the server's drain group; flights count against it
+	hook     func()                       // test hook: runs before each flight integrates
+	done     func(*fuzzyfd.Result, error) // metrics bridge, called once per flight
+	panicked func(v any)                  // panic bridge (metrics + stack log), called per recovered panic
 
 	mu      sync.Mutex
 	cur     *flight // accumulating flight, not yet launched (nil when empty)
@@ -68,13 +70,7 @@ func (b *batcher) add(ctx context.Context, tables ...*fuzzyfd.Table) (*fuzzyfd.R
 // ran. The next flight's wg.Add happens before this one's wg.Done, so the
 // drain group never reads zero mid-chain.
 func (b *batcher) run(f *flight) {
-	if b.hook != nil {
-		b.hook()
-	}
-	b.opMu.Lock()
-	b.sess.Add(f.tables...)
-	f.res, f.err = b.sess.IntegrateContext(context.Background())
-	b.opMu.Unlock()
+	b.integrate(f)
 	if b.done != nil {
 		b.done(f.res, f.err)
 	}
@@ -91,6 +87,35 @@ func (b *batcher) run(f *flight) {
 	}
 	b.mu.Unlock()
 	b.wg.Done()
+}
+
+// integrate performs one flight's append and integration. A panic anywhere
+// inside — the engine, the progress hub, the test hook — is contained to
+// the flight: recovered, reported through panicked, and surfaced to the
+// flight's waiters as an error. Letting it escape would unwind run's
+// chain/wg bookkeeping and kill the whole daemon for one tenant's bug.
+func (b *batcher) integrate(f *flight) {
+	defer func() {
+		if p := recover(); p != nil {
+			if b.panicked != nil {
+				b.panicked(p)
+			}
+			f.res, f.err = nil, fmt.Errorf("fuzzyfdd: integration panicked: %v", p)
+		}
+	}()
+	if b.hook != nil {
+		b.hook()
+	}
+	b.opMu.Lock()
+	defer b.opMu.Unlock()
+	// Append, not Add: on a durable session the batch must be logged and
+	// fsync'd before anyone is told it integrated; a failed append fails
+	// the flight without poisoning the session.
+	if err := b.sess.Append(f.tables...); err != nil {
+		f.err = err
+		return
+	}
+	f.res, f.err = b.sess.IntegrateContext(context.Background())
 }
 
 // idle reports whether no flight is running or accumulating — the

@@ -1,0 +1,239 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// resultJSON fetches the session's integrated result in JSON mode.
+func resultJSON(t *testing.T, ts *httptest.Server, session string) map[string]any {
+	t.Helper()
+	resp, body := doReq(t, http.MethodGet, ts.URL+"/v1/sessions/"+session+"/result", "", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: status %d: %s", resp.StatusCode, body)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// A durable server restarted on the same data directory serves the same
+// result without the session ever being re-created — it is lazily reopened
+// on the first request, and the reopen is counted.
+func TestServerRestartServesSameResult(t *testing.T) {
+	dir := t.TempDir()
+
+	srv1 := New(Config{DataDir: dir})
+	ts1 := httptest.NewServer(srv1)
+	createSession(t, ts1, "orders", `{"equi": true}`)
+	postTable(t, ts1, "orders", "people", `{"name":"alice","city":"Berlin"}
+{"name":"bob","city":"Paris"}`)
+	postTable(t, ts1, "orders", "jobs", `{"name":"alice","job":"eng"}
+{"name":"carol","job":"ops"}`)
+	want := resultJSON(t, ts1, "orders")
+	if err := srv1.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+	srv1.Close()
+
+	srv2 := New(Config{DataDir: dir})
+	ts2 := httptest.NewServer(srv2)
+	defer func() { ts2.Close(); srv2.Close() }()
+
+	// No PUT: the session must come back from disk.
+	resp, body := doReq(t, http.MethodGet, ts2.URL+"/v1/sessions/orders", "", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get after restart: status %d: %s", resp.StatusCode, body)
+	}
+	got := resultJSON(t, ts2, "orders")
+	if !reflect.DeepEqual(got["rows"], want["rows"]) || !reflect.DeepEqual(got["columns"], want["columns"]) {
+		t.Fatalf("restarted result diverges:\ngot  %v\nwant %v", got, want)
+	}
+	resp, body = doReq(t, http.MethodGet, ts2.URL+"/metrics", "", nil)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "fuzzyfdd_sessions_reopened_total 1") {
+		t.Errorf("reopen not counted in metrics:\n%s", body)
+	}
+
+	// The reopened session keeps accepting tables.
+	postTable(t, ts2, "orders", "ages", `{"name":"bob","age":"41"}`)
+
+	// DELETE removes the on-disk state for good: after another restart the
+	// session is gone.
+	resp, body = doReq(t, http.MethodDelete, ts2.URL+"/v1/sessions/orders", "", nil)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: status %d: %s", resp.StatusCode, body)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "orders")); !os.IsNotExist(err) {
+		t.Fatalf("session directory survived DELETE: %v", err)
+	}
+	resp, _ = doReq(t, http.MethodGet, ts2.URL+"/v1/sessions/orders", "", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("get after delete: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// Idle eviction of a durable session flushes it to disk instead of losing
+// it: the next request transparently reopens it with its state intact.
+func TestServerEvictionFlushesAndReopens(t *testing.T) {
+	srv, ts := newTestServer(t, Config{DataDir: t.TempDir(), IdleTTL: 30 * time.Millisecond})
+	createSession(t, ts, "ev", `{"equi": true}`)
+	postTable(t, ts, "ev", "people", `{"name":"alice","city":"Berlin"}`)
+	want := resultJSON(t, ts, "ev")
+
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.reg.count() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("session was never evicted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	got := resultJSON(t, ts, "ev")
+	if !reflect.DeepEqual(got["rows"], want["rows"]) {
+		t.Fatalf("reopened-after-eviction result diverges:\ngot  %v\nwant %v", got, want)
+	}
+}
+
+// A panic on the batcher goroutine is contained to its flight: the waiter
+// gets a 500, the panic is counted, and the daemon keeps serving.
+func TestServerBatcherPanicContained(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	createSession(t, ts, "p", `{"equi": true}`)
+	srv.setIntegrateHook(func(string) { panic("injected integration panic") })
+
+	_, err := postTableErr(ts, "p", "t1", `{"a":"1"}`)
+	if err == nil || !strings.Contains(err.Error(), "status 500") || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("panicking flight did not 500: %v", err)
+	}
+
+	srv.setIntegrateHook(nil)
+	postTable(t, ts, "p", "t2", `{"a":"2"}`) // daemon still alive and integrating
+	resp, body := doReq(t, http.MethodGet, ts.URL+"/metrics", "", nil)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "fuzzyfdd_panics_total 1") {
+		t.Errorf("panic not counted in metrics:\n%s", body)
+	}
+}
+
+// A panic inside an HTTP handler is caught by the ServeHTTP middleware:
+// 500 with a typed body naming the request id, counter bumped, server up.
+func TestServerHandlerPanicMiddleware(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	srv.mux.HandleFunc("GET /boom", func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	})
+	resp, body := doReq(t, http.MethodGet, ts.URL+"/boom", "", nil)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", resp.StatusCode)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err != nil {
+		t.Fatalf("unparseable error body %q: %v", body, err)
+	}
+	if eb.Code != "internal_panic" || eb.RequestID == "" || !strings.Contains(eb.Error, "kaboom") {
+		t.Errorf("error body = %+v", eb)
+	}
+	resp, _ = doReq(t, http.MethodGet, ts.URL+"/healthz", "", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("server unhealthy after recovered panic: %d", resp.StatusCode)
+	}
+}
+
+// A request whose integration exceeds -request-timeout gets 504 with the
+// typed timeout body; the integration itself still lands in the session.
+func TestServerRequestTimeout(t *testing.T) {
+	srv, ts := newTestServer(t, Config{RequestTimeout: 30 * time.Millisecond})
+	createSession(t, ts, "slow", `{"equi": true}`)
+	release := make(chan struct{})
+	srv.setIntegrateHook(func(string) { <-release })
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/sessions/slow/tables?table=t1",
+		strings.NewReader(`{"a":"1"}`))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eb errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout || eb.Code != "timeout" {
+		t.Fatalf("status %d body %+v, want 504/timeout", resp.StatusCode, eb)
+	}
+
+	close(release)
+	srv.setIntegrateHook(nil)
+	// The timed-out table was committed to its flight; once it finishes the
+	// session contains it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got := resultJSON(t, ts, "slow")
+		if rows, _ := got["rows"].([]any); len(rows) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed-out integration never landed: %v", got)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Malformed JSONL is rejected with a 400 naming the offending line, and
+// the configured row cap is enforced.
+func TestServerBadJSONLNamesLine(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxRows: 2})
+	createSession(t, ts, "j", `{"equi": true}`)
+
+	resp, body := doReq(t, http.MethodPost, ts.URL+"/v1/sessions/j/tables?table=t1",
+		"{\"a\":\"1\"}\n{broken", nil)
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err != nil {
+		t.Fatalf("unparseable error body %q: %v", body, err)
+	}
+	if resp.StatusCode != http.StatusBadRequest || eb.Code != "bad_jsonl" || !strings.Contains(eb.Error, "line 2") {
+		t.Fatalf("status %d body %+v, want 400/bad_jsonl naming line 2", resp.StatusCode, eb)
+	}
+
+	var sb strings.Builder
+	for i := 0; i < 3; i++ {
+		fmt.Fprintf(&sb, "{\"a\":\"%d\"}\n", i)
+	}
+	resp, body = doReq(t, http.MethodPost, ts.URL+"/v1/sessions/j/tables?table=t2", sb.String(), nil)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "row limit") {
+		t.Fatalf("row cap not enforced: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// Session names that would escape the data directory are refused (the
+// HTTP path cleaner catches them even earlier, but the mapping must be
+// safe on its own), and odd but safe names land in one flat escaped dir.
+func TestServerSessionNameEscaping(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := newTestServer(t, Config{DataDir: dir})
+
+	for _, bad := range []string{".", "..", ""} {
+		if got, err := srv.sessionDir(bad); err == nil {
+			t.Errorf("sessionDir(%q) = %q, want error", bad, got)
+		}
+	}
+	if got, err := srv.sessionDir("a/b"); err != nil || strings.ContainsRune(filepath.Base(got), '/') {
+		t.Errorf("sessionDir(\"a/b\") = %q, %v", got, err)
+	}
+
+	createSession(t, ts, "a%2Fb", "") // decodes to the session name "a/b"
+	if _, err := os.Stat(filepath.Join(dir, "a%2Fb")); err != nil {
+		t.Fatalf("escaped session dir missing: %v", err)
+	}
+}

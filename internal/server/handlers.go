@@ -2,11 +2,15 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
+	"os"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"time"
@@ -35,6 +39,29 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// errorBody is the typed error response: a message, a stable machine code,
+// and the request id for correlating with the daemon's logs.
+type errorBody struct {
+	Error     string `json:"error"`
+	Code      string `json:"code"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+func writeErrorCode(w http.ResponseWriter, r *http.Request, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorBody{
+		Error:     fmt.Sprintf(format, args...),
+		Code:      code,
+		RequestID: requestID(r),
+	})
+}
+
+// timedOut reports whether err is the request deadline firing, in which
+// case the handler answers 504 — the integration keeps running and its
+// outcome lands in the session for a later request to read.
+func timedOut(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -122,14 +149,24 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, info(c))
 }
 
-// newSession assembles one tenant: hub, fuzzyfd session, batcher, metrics
-// wiring.
+// newSession assembles one tenant: hub, fuzzyfd session (durable when the
+// server has a data directory), batcher, metrics wiring.
 func (s *Server) newSession(name string, opts sessionOptions) (*session, error) {
-	c := &session{name: name}
-	c.hub = newHub(func() { s.met.sseDropped.With(name).Inc() })
-	fs, err := s.buildSession(opts, c.hub)
+	dir, err := s.sessionDir(name)
 	if err != nil {
 		return nil, err
+	}
+	c := &session{name: name, dir: dir}
+	c.hub = newHub(func() { s.met.sseDropped.With(name).Inc() })
+	fs, err := s.buildSession(opts, c.hub, dir)
+	if err != nil {
+		return nil, err
+	}
+	if dir != "" {
+		if err := saveOptions(dir, opts); err != nil {
+			fs.Close()
+			return nil, fmt.Errorf("persist session options: %w", err)
+		}
 	}
 	c.sess = fs
 	c.bat = &batcher{
@@ -138,6 +175,10 @@ func (s *Server) newSession(name string, opts sessionOptions) (*session, error) 
 		wg:   &s.inflight,
 		hook: s.hookFor(name),
 		done: func(res *fuzzyfd.Result, err error) { s.met.onIntegrated(name, fs, res, err) },
+		panicked: func(v any) {
+			s.met.panics.With().Inc()
+			log.Printf("fuzzyfdd: session %q: integration panic: %v\n%s", name, v, debug.Stack())
+		},
 	}
 	return c, nil
 }
@@ -163,7 +204,7 @@ func (s *Server) setIntegrateHook(h func(session string)) {
 }
 
 func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
-	c := s.reg.get(r.PathValue("name"))
+	c := s.session(r.PathValue("name"))
 	if c == nil {
 		writeError(w, http.StatusNotFound, "no session %q", r.PathValue("name"))
 		return
@@ -179,11 +220,31 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 	name := r.PathValue("name")
-	if s.reg.remove(name) == nil {
+	c := s.reg.remove(name)
+	dir, _ := s.sessionDir(name)
+	if c == nil && dir != "" {
+		// Not live, but possibly on disk (evicted, or from a previous
+		// process). DELETE means gone for good either way.
+		if _, err := os.Stat(dir); err != nil {
+			dir = ""
+		}
+	}
+	if c == nil && dir == "" {
 		writeError(w, http.StatusNotFound, "no session %q", name)
 		return
 	}
-	s.met.sessionEvicted(name)
+	if c != nil {
+		if err := c.close(); err != nil {
+			log.Printf("fuzzyfdd: delete session %q: close: %v", name, err)
+		}
+		s.met.sessionEvicted(name)
+	}
+	if dir != "" {
+		if err := os.RemoveAll(dir); err != nil {
+			writeErrorCode(w, r, http.StatusInternalServerError, "delete_failed", "delete session data: %v", err)
+			return
+		}
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -195,7 +256,7 @@ func (s *Server) handleAddTables(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 	name := r.PathValue("name")
-	c := s.reg.get(name)
+	c := s.session(name)
 	if c == nil {
 		writeError(w, http.StatusNotFound, "no session %q", name)
 		return
@@ -204,19 +265,29 @@ func (s *Server) handleAddTables(w http.ResponseWriter, r *http.Request) {
 	if tableName == "" {
 		tableName = fmt.Sprintf("t%d", c.sess.Tables()+1)
 	}
-	tbl, err := fuzzyfd.ReadJSONL(r.Body, tableName)
+	tbl, err := fuzzyfd.ReadJSONLLimited(r.Body, tableName, fuzzyfd.JSONLLimits{
+		MaxLineBytes: s.cfg.MaxLineBytes,
+		MaxRows:      s.cfg.MaxRows,
+	})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "table body: %v", err)
+		// The message names the offending 1-based line of the JSONL body.
+		writeErrorCode(w, r, http.StatusBadRequest, "bad_jsonl", "table body: %v", err)
 		return
 	}
 	s.met.addRequests.With(name).Inc()
-	res, err := c.bat.add(r.Context(), tbl)
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	res, err := c.bat.add(ctx, tbl)
 	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, fuzzyfd.ErrTupleBudget) {
-			status = http.StatusUnprocessableEntity
+		switch {
+		case timedOut(err):
+			writeErrorCode(w, r, http.StatusGatewayTimeout, "timeout",
+				"integration exceeded the request timeout %s (it continues in the background)", s.cfg.RequestTimeout)
+		case errors.Is(err, fuzzyfd.ErrTupleBudget):
+			writeError(w, http.StatusUnprocessableEntity, "integrate: %v", err)
+		default:
+			writeErrorCode(w, r, http.StatusInternalServerError, "integrate_failed", "integrate: %v", err)
 		}
-		writeError(w, status, "integrate: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -240,7 +311,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 	name := r.PathValue("name")
-	c := s.reg.get(name)
+	c := s.session(name)
 	if c == nil {
 		writeError(w, http.StatusNotFound, "no session %q", name)
 		return
@@ -250,19 +321,25 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		s.streamResult(w, r, c)
 		return
 	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
 	c.opMu.Lock()
 	res := c.sess.Last()
 	var err error
 	if res == nil {
-		res, err = c.sess.Integrate()
+		res, err = c.sess.IntegrateContext(ctx)
 	}
 	c.opMu.Unlock()
 	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, fuzzyfd.ErrNoTables) {
-			status = http.StatusConflict
+		switch {
+		case timedOut(err):
+			writeErrorCode(w, r, http.StatusGatewayTimeout, "timeout",
+				"integration exceeded the request timeout %s", s.cfg.RequestTimeout)
+		case errors.Is(err, fuzzyfd.ErrNoTables):
+			writeError(w, http.StatusConflict, "integrate: %v", err)
+		default:
+			writeErrorCode(w, r, http.StatusInternalServerError, "integrate_failed", "integrate: %v", err)
 		}
-		writeError(w, status, "integrate: %v", err)
 		return
 	}
 	rows := make([]map[string]string, len(res.Table.Rows))
@@ -282,6 +359,8 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 // the session's opMu, so it observes exactly one integration state and
 // concurrent adds wait rather than mutating mid-stream.
 func (s *Server) streamResult(w http.ResponseWriter, r *http.Request, c *session) {
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
 	c.opMu.Lock()
 	defer c.opMu.Unlock()
 	// Rows buffer until the first flush, so an error before any row can
@@ -297,7 +376,7 @@ func (s *Server) streamResult(w http.ResponseWriter, r *http.Request, c *session
 		}
 		flushed = true
 	}
-	_, err := c.sess.StreamContext(r.Context(), func(schema fuzzyfd.Schema, row fuzzyfd.Row, _ []fuzzyfd.TID) error {
+	_, err := c.sess.StreamContext(ctx, func(schema fuzzyfd.Schema, row fuzzyfd.Row, _ []fuzzyfd.TID) error {
 		if err := enc.Encode(table.RowObject(schema.Columns, row)); err != nil {
 			return err
 		}
@@ -308,11 +387,15 @@ func (s *Server) streamResult(w http.ResponseWriter, r *http.Request, c *session
 		return nil
 	})
 	if err != nil && !flushed && n == 0 {
-		status := http.StatusInternalServerError
-		if errors.Is(err, fuzzyfd.ErrNoTables) {
-			status = http.StatusConflict
+		switch {
+		case timedOut(err):
+			writeErrorCode(w, r, http.StatusGatewayTimeout, "timeout",
+				"stream exceeded the request timeout %s", s.cfg.RequestTimeout)
+		case errors.Is(err, fuzzyfd.ErrNoTables):
+			writeError(w, http.StatusConflict, "stream: %v", err)
+		default:
+			writeErrorCode(w, r, http.StatusInternalServerError, "stream_failed", "stream: %v", err)
 		}
-		writeError(w, status, "stream: %v", err)
 		return
 	}
 	bw.Flush()
@@ -331,7 +414,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 	name := r.PathValue("name")
-	c := s.reg.get(name)
+	c := s.session(name)
 	if c == nil {
 		writeError(w, http.StatusNotFound, "no session %q", name)
 		return

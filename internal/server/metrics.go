@@ -14,9 +14,11 @@ import (
 type serverMetrics struct {
 	reg *metrics.Registry
 
-	sessions        *metrics.Family // gauge: live sessions (set at scrape)
-	sessionsCreated *metrics.Family // counter
-	sessionsEvicted *metrics.Family // counter
+	sessions         *metrics.Family // gauge: live sessions (set at scrape)
+	sessionsCreated  *metrics.Family // counter
+	sessionsEvicted  *metrics.Family // counter
+	sessionsReopened *metrics.Family // counter: durable sessions lazily reopened from disk
+	panics           *metrics.Family // counter: recovered handler/batcher panics
 
 	addRequests       *metrics.Family // counter {session}
 	integrations      *metrics.Family // counter {session}
@@ -44,6 +46,8 @@ func newServerMetrics() *serverMetrics {
 		sessions:          r.Gauge("fuzzyfdd_sessions", "Live integration sessions."),
 		sessionsCreated:   r.Counter("fuzzyfdd_sessions_created_total", "Sessions created since start."),
 		sessionsEvicted:   r.Counter("fuzzyfdd_sessions_evicted_total", "Sessions evicted (idle TTL or DELETE)."),
+		sessionsReopened:  r.Counter("fuzzyfdd_sessions_reopened_total", "Durable sessions lazily reopened from the data directory."),
+		panics:            r.Counter("fuzzyfdd_panics_total", "Panics recovered in handlers or coalesced integrations."),
 		addRequests:       r.Counter("fuzzyfdd_add_requests_total", "Table-add requests received.", "session"),
 		integrations:      r.Counter("fuzzyfdd_integrations_total", "Coalesced integrations executed.", "session"),
 		integrationErrors: r.Counter("fuzzyfdd_integration_errors_total", "Integrations that failed.", "session"),

@@ -16,6 +16,7 @@ import (
 // each other.
 type session struct {
 	name string
+	dir  string // data directory of a durable session, "" otherwise
 	sess *fuzzyfd.Session
 	bat  *batcher
 	hub  *hub
@@ -24,6 +25,14 @@ type session struct {
 	mu       sync.Mutex
 	lastUsed time.Time
 	created  time.Time
+}
+
+// close flushes and releases a durable session's store (a no-op for
+// in-memory sessions). Called after the session has left the registry.
+func (c *session) close() error {
+	c.opMu.Lock()
+	defer c.opMu.Unlock()
+	return c.sess.Close()
 }
 
 // touch records a request against idle eviction.

@@ -14,9 +14,16 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fuzzyfd"
@@ -38,6 +45,20 @@ type Config struct {
 	// Workers is the default fuzzyfd.WithParallelFD worker count for new
 	// sessions; zero leaves the closure sequential.
 	Workers int
+	// DataDir, when set, makes sessions durable: each one is backed by a
+	// write-ahead log and snapshots under DataDir/<escaped-name>, survives
+	// a daemon restart, and is lazily reopened on its first request.
+	DataDir string
+	// RequestTimeout bounds ingestion and result requests; a request whose
+	// integration has not completed in time gets 504 (the coalesced
+	// integration itself keeps running and lands in the session). Zero
+	// leaves requests bounded only by the client.
+	RequestTimeout time.Duration
+	// MaxLineBytes caps one JSONL line on ingestion (0: the table package
+	// default of 4 MiB).
+	MaxLineBytes int
+	// MaxRows caps the rows of one ingested table (0: unlimited).
+	MaxRows int
 }
 
 // Server hosts the fuzzyfdd HTTP API. Create with New, serve its Handler,
@@ -47,6 +68,8 @@ type Server struct {
 	mux *http.ServeMux
 	reg *registry
 	met *serverMetrics
+
+	reqSeq uint64 // atomic: request id counter
 
 	mu       sync.Mutex
 	draining bool
@@ -84,8 +107,47 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// ServeHTTP makes the Server an http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP makes the Server an http.Handler. Every request gets an id,
+// and a handler panic is contained to its request: logged with the stack,
+// counted in fuzzyfdd_panics_total, and answered with a 500 naming the
+// request id — the daemon itself stays up.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rid := fmt.Sprintf("req-%d", atomic.AddUint64(&s.reqSeq, 1))
+	r = r.WithContext(context.WithValue(r.Context(), ridKey{}, rid))
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		if p == http.ErrAbortHandler { // net/http's own abort signal
+			panic(p)
+		}
+		s.met.panics.With().Inc()
+		log.Printf("fuzzyfdd: %s %s %s: panic: %v\n%s", rid, r.Method, r.URL.Path, p, debug.Stack())
+		// Best effort: if the handler already wrote headers this is a no-op
+		// scribble on a dead connection, which net/http tolerates.
+		writeErrorCode(w, r, http.StatusInternalServerError, "internal_panic", "internal error: %v", p)
+	}()
+	s.mux.ServeHTTP(w, r)
+}
+
+// ridKey carries the request id in the context.
+type ridKey struct{}
+
+// requestID returns the request's id, or "" outside ServeHTTP.
+func requestID(r *http.Request) string {
+	rid, _ := r.Context().Value(ridKey{}).(string)
+	return rid
+}
+
+// requestCtx derives the handler context, applying the configured request
+// timeout when one is set.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	}
+	return r.Context(), func() {}
+}
 
 // Drain stops accepting state-changing requests (they get 503) and waits
 // for in-flight requests and coalesced integrations to finish, or for ctx
@@ -101,6 +163,13 @@ func (s *Server) Drain(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		s.inflight.Wait()
+		// Quiesced: snapshot every dirty durable session so a restart
+		// replays nothing (in-memory sessions no-op).
+		for _, c := range s.reg.list() {
+			if err := c.sess.Flush(); err != nil {
+				log.Printf("fuzzyfdd: drain: flush session %q: %v", c.name, err)
+			}
+		}
 		close(done)
 	}()
 	select {
@@ -148,6 +217,11 @@ func (s *Server) janitor() {
 			return
 		case <-t.C:
 			for _, sess := range s.reg.evictIdle(s.cfg.IdleTTL) {
+				// Durable sessions flush to disk on close, so eviction is
+				// a cache drop — the next request lazily reopens them.
+				if err := sess.close(); err != nil {
+					log.Printf("fuzzyfdd: evict session %q: %v", sess.name, err)
+				}
 				s.met.sessionEvicted(sess.name)
 			}
 		}
@@ -173,8 +247,9 @@ type sessionOptions struct {
 }
 
 // buildSession turns creation options into a fuzzyfd.Session wired to the
-// session's progress hub.
-func (s *Server) buildSession(o sessionOptions, h *hub) (*fuzzyfd.Session, error) {
+// session's progress hub — durable under dir when one is given, in-memory
+// otherwise.
+func (s *Server) buildSession(o sessionOptions, h *hub, dir string) (*fuzzyfd.Session, error) {
 	var opts []fuzzyfd.Option
 	if o.Equi {
 		opts = append(opts, fuzzyfd.WithEquiJoin())
@@ -203,5 +278,71 @@ func (s *Server) buildSession(o sessionOptions, h *hub) (*fuzzyfd.Session, error
 		opts = append(opts, fuzzyfd.WithTupleBudget(budget))
 	}
 	opts = append(opts, fuzzyfd.WithProgress(h.publish))
+	if dir != "" {
+		return fuzzyfd.OpenSession(dir, opts...)
+	}
 	return fuzzyfd.NewSession(opts...)
+}
+
+// optionsFile records a durable session's creation options inside its data
+// directory, so a restarted daemon can rebuild the session with the same
+// engine configuration before replaying its log.
+const optionsFile = "session.json"
+
+// sessionDir maps a session name to its on-disk directory, or "" when the
+// server is not durable. Names are query-escaped — one flat directory per
+// session, no separators — and the two names escaping would pass through
+// as path steps are refused.
+func (s *Server) sessionDir(name string) (string, error) {
+	if s.cfg.DataDir == "" {
+		return "", nil
+	}
+	esc := url.QueryEscape(name)
+	if esc == "" || esc == "." || esc == ".." {
+		return "", fmt.Errorf("invalid session name %q", name)
+	}
+	return filepath.Join(s.cfg.DataDir, esc), nil
+}
+
+// saveOptions persists the creation options next to the session's log.
+func saveOptions(dir string, o sessionOptions) error {
+	data, err := json.Marshal(o)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, optionsFile), append(data, '\n'), 0o644)
+}
+
+// session resolves a name: the registry first, then — on a durable server
+// — the data directory, lazily reopening a session that a previous process
+// (or the eviction janitor) left on disk. It returns nil when the session
+// exists nowhere.
+func (s *Server) session(name string) *session {
+	if c := s.reg.get(name); c != nil {
+		return c
+	}
+	dir, err := s.sessionDir(name)
+	if dir == "" || err != nil {
+		return nil
+	}
+	data, err := os.ReadFile(filepath.Join(dir, optionsFile))
+	if err != nil {
+		return nil
+	}
+	var opts sessionOptions
+	if err := json.Unmarshal(data, &opts); err != nil {
+		log.Printf("fuzzyfdd: session %q: corrupt %s: %v", name, optionsFile, err)
+		return nil
+	}
+	c, created, _, err := s.reg.put(name, func() (*session, error) {
+		return s.newSession(name, opts)
+	})
+	if err != nil {
+		log.Printf("fuzzyfdd: reopen session %q: %v", name, err)
+		return nil
+	}
+	if created {
+		s.met.sessionsReopened.With().Inc()
+	}
+	return c
 }

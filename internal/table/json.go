@@ -2,6 +2,7 @@ package table
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -36,21 +37,60 @@ func RowObject(columns []string, row Row) map[string]string {
 	return obj
 }
 
-// ReadJSONL parses a JSON Lines stream into a table. The schema is the
-// union of all keys in first-seen order; missing keys become null cells.
-// Non-string JSON values are rendered with their default JSON encoding.
+// JSONLLimits bounds a JSONL parse against hostile or accidental input.
+// Zero values mean the defaults; use -1 for MaxRows to refuse all rows.
+type JSONLLimits struct {
+	// MaxLineBytes caps a single line. Lines past it fail with an error
+	// naming the line number instead of buffering unboundedly. Default 4 MiB.
+	MaxLineBytes int
+	// MaxRows caps the number of rows parsed. 0 means unlimited.
+	MaxRows int
+}
+
+// defaultMaxLineBytes keeps a single pathological row from buffering
+// arbitrarily much memory while staying far above any realistic row.
+const defaultMaxLineBytes = 4 << 20
+
+// ReadJSONL parses a JSON Lines stream into a table with the default
+// limits. The schema is the union of all keys in first-seen order; missing
+// keys become null cells. Non-string JSON values are rendered with their
+// default JSON encoding. Errors name the 1-based offending line.
 func ReadJSONL(r io.Reader, name string) (*Table, error) {
-	dec := json.NewDecoder(r)
+	return ReadJSONLLimited(r, name, JSONLLimits{})
+}
+
+// ReadJSONLLimited is ReadJSONL with explicit parse limits.
+func ReadJSONLLimited(r io.Reader, name string, lim JSONLLimits) (*Table, error) {
+	maxLine := lim.MaxLineBytes
+	if maxLine <= 0 {
+		maxLine = defaultMaxLineBytes
+	}
+	sc := bufio.NewScanner(r)
+	// Scanner's cap is max(maxLine, cap(buf)), so the initial buffer must
+	// not exceed the limit or small limits would be silently ignored.
+	sc.Buffer(make([]byte, 0, min(64*1024, maxLine)), maxLine)
 	var rawRows []map[string]json.RawMessage
-	for {
+	line := 0
+	for sc.Scan() {
+		line++
+		text := bytes.TrimSpace(sc.Bytes())
+		if len(text) == 0 {
+			continue
+		}
+		if lim.MaxRows > 0 && len(rawRows) >= lim.MaxRows {
+			return nil, fmt.Errorf("table: read jsonl %q line %d: row limit of %d exceeded", name, line, lim.MaxRows)
+		}
 		var obj map[string]json.RawMessage
-		if err := dec.Decode(&obj); err != nil {
-			if err == io.EOF {
-				break
-			}
-			return nil, fmt.Errorf("table: read jsonl %q: %w", name, err)
+		if err := json.Unmarshal(text, &obj); err != nil {
+			return nil, fmt.Errorf("table: read jsonl %q line %d: %w", name, line, err)
 		}
 		rawRows = append(rawRows, obj)
+	}
+	if err := sc.Err(); err != nil {
+		if err == bufio.ErrTooLong {
+			return nil, fmt.Errorf("table: read jsonl %q line %d: line exceeds %d bytes", name, line+1, maxLine)
+		}
+		return nil, fmt.Errorf("table: read jsonl %q line %d: %w", name, line+1, err)
 	}
 
 	t := New(name)

@@ -71,6 +71,49 @@ func TestReadJSONLErrors(t *testing.T) {
 	}
 }
 
+func TestReadJSONLNamesOffendingLine(t *testing.T) {
+	in := "{\"a\":\"1\"}\n\n{\"a\":\"2\"}\n{broken\n"
+	_, err := ReadJSONL(strings.NewReader(in), "j")
+	if err == nil {
+		t.Fatal("malformed line accepted")
+	}
+	if !strings.Contains(err.Error(), "line 4") {
+		t.Errorf("error does not name line 4: %v", err)
+	}
+}
+
+func TestReadJSONLBlankLinesSkipped(t *testing.T) {
+	in := "\n{\"a\":\"1\"}\n   \n{\"a\":\"2\"}\n\n"
+	tb, err := ReadJSONL(strings.NewReader(in), "j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows=%d, want 2", tb.NumRows())
+	}
+}
+
+func TestReadJSONLLimits(t *testing.T) {
+	long := `{"a":"` + strings.Repeat("x", 100) + `"}`
+	_, err := ReadJSONLLimited(strings.NewReader("{\"a\":\"1\"}\n"+long), "j",
+		JSONLLimits{MaxLineBytes: 64})
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("oversized line not rejected with its line number: %v", err)
+	}
+
+	_, err = ReadJSONLLimited(strings.NewReader("{\"a\":\"1\"}\n{\"a\":\"2\"}\n{\"a\":\"3\"}"), "j",
+		JSONLLimits{MaxRows: 2})
+	if err == nil || !strings.Contains(err.Error(), "line 3") || !strings.Contains(err.Error(), "row limit") {
+		t.Errorf("row limit not enforced at line 3: %v", err)
+	}
+
+	tb, err := ReadJSONLLimited(strings.NewReader("{\"a\":\"1\"}\n{\"a\":\"2\"}"), "j",
+		JSONLLimits{MaxRows: 2, MaxLineBytes: 64})
+	if err != nil || tb.NumRows() != 2 {
+		t.Errorf("input within limits rejected: %v %v", tb, err)
+	}
+}
+
 // Property: JSONL round-trips any table (modulo column order, which the
 // reader unions in sorted-first-seen order, and the name).
 func TestJSONLRoundTripProperty(t *testing.T) {
