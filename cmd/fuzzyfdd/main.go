@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"fuzzyfd/internal/server"
+	"fuzzyfd/internal/wal"
 )
 
 func main() {
@@ -59,11 +60,29 @@ func main() {
 	requestTimeout := flag.Duration("request-timeout", 0, "bound ingestion/result requests; exceeded requests get 504 (0 unbounded)")
 	maxLineBytes := flag.Int("max-line-bytes", 0, "max bytes of one ingested JSONL line (0: 4MiB default)")
 	maxRows := flag.Int("max-rows", 0, "max rows of one ingested table (0 unlimited)")
+	queue := flag.Int("queue", 0, "max tables queued per session flight; beyond it adds get 429 (0 unbounded)")
+	maxInflight := flag.Int("max-inflight", 0, "max integrations running concurrently across sessions (0 unbounded)")
+	rate := flag.Float64("rate", 0, "max table-add requests per second per session (0 unlimited)")
+	burst := flag.Int("burst", 0, "token-bucket burst for -rate (min 1)")
+	memoryBudget := flag.Int64("memory-budget", 0, "per-session FD memory budget ceiling in bytes (0 unbounded)")
+	probeInterval := flag.Duration("probe-interval", 0, "degraded-log recovery probe period (0: 5s default, negative disables)")
+	chaosRate := flag.Float64("chaos-fault-rate", 0, "inject transient WAL filesystem faults with this probability (testing only; requires -data-dir)")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "seed for -chaos-fault-rate fault injection")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "usage: fuzzyfdd [flags]\n")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+
+	var walFS wal.FS
+	if *chaosRate > 0 {
+		if *dataDir == "" {
+			fmt.Fprintf(os.Stderr, "fuzzyfdd: -chaos-fault-rate requires -data-dir\n")
+			os.Exit(2)
+		}
+		log.Printf("fuzzyfdd: CHAOS MODE: injecting transient WAL faults at rate %g (seed %d) — testing only", *chaosRate, *chaosSeed)
+		walFS = wal.NewFlakyFS(wal.OSFS{}, *chaosRate, *chaosSeed)
 	}
 
 	srv := server.New(server.Config{
@@ -75,6 +94,13 @@ func main() {
 		RequestTimeout: *requestTimeout,
 		MaxLineBytes:   *maxLineBytes,
 		MaxRows:        *maxRows,
+		MaxQueue:       *queue,
+		MaxInflight:    *maxInflight,
+		RatePerSec:     *rate,
+		Burst:          *burst,
+		MemoryBudget:   *memoryBudget,
+		ProbeInterval:  *probeInterval,
+		WALFS:          walFS,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv}
 

@@ -60,6 +60,7 @@ import (
 	"fuzzyfd/internal/fd"
 	"fuzzyfd/internal/match"
 	"fuzzyfd/internal/table"
+	"fuzzyfd/internal/wal"
 )
 
 // Re-exported table types: the tabular substrate the integrator consumes
@@ -116,6 +117,16 @@ var (
 	ErrCanceled = fd.ErrCanceled
 	// ErrNoTables is returned when integrating an empty set.
 	ErrNoTables = core.ErrNoTables
+	// ErrMemoryBudget is returned when the Full Disjunction's estimated
+	// resident memory exceeds the WithMemoryBudget limit.
+	ErrMemoryBudget = fd.ErrMemoryBudget
+	// ErrDegraded is returned by writes to a durable session whose log has
+	// exhausted its retries against a failing filesystem and entered
+	// degraded read-only mode; Session.Probe (or the next write, which
+	// probes first) restores write availability once the filesystem heals.
+	ErrDegraded = wal.ErrDegraded
+	// ErrSessionClosed is returned by writes to a closed session.
+	ErrSessionClosed = core.ErrClosed
 )
 
 // Embedding model names, ordered weakest to strongest (paper Table 1).
@@ -324,6 +335,22 @@ func WithTupleBudget(n int) Option {
 	}
 }
 
+// WithMemoryBudget aborts integration with ErrMemoryBudget if the Full
+// Disjunction's estimated resident memory — the interned value dictionary
+// plus the live closure tuples under a linear per-tuple cost model — exceeds
+// n bytes. The estimate is a stable model, not allocator-exact accounting;
+// it pairs with WithTupleBudget as a safety valve sized in bytes rather
+// than tuples. n must be at least 1; to run unbounded, omit the option.
+func WithMemoryBudget(n int64) Option {
+	return func(o *options) error {
+		if n < 1 {
+			return fmt.Errorf("fuzzyfd: memory budget %d < 1", n)
+		}
+		o.cfg.FD.MaxBytes = n
+		return nil
+	}
+}
+
 // WithProgress registers a callback observing the integration as it runs:
 // phase transitions (align, match, fd — start and completion with elapsed
 // time) and, during the FD phase, every connected component's closure
@@ -497,6 +524,10 @@ type Durability struct {
 	// NoSync skips fsyncs. A crash may then lose acknowledged adds (never
 	// corrupt the session directory); for tests and throwaway sessions.
 	NoSync bool
+	// FS overrides the filesystem the session's log and snapshots live on.
+	// Nil means the operating system's. Fault-injecting filesystems
+	// (wal.NewFlakyFS, wal.NewMemFS) plug in here for resilience testing.
+	FS wal.FS
 }
 
 // WithDurability tunes the durability of a session opened with OpenSession.
@@ -505,6 +536,7 @@ func WithDurability(d Durability) Option {
 	return func(o *options) error {
 		o.dur.SnapshotEvery = d.SnapshotEvery
 		o.dur.NoSync = d.NoSync
+		o.dur.FS = d.FS
 		return nil
 	}
 }
@@ -560,6 +592,27 @@ func (s *Session) Close() error { return s.s.Close() }
 // Durable reports whether the session persists its adds (true exactly for
 // OpenSession sessions).
 func (s *Session) Durable() bool { return s.s.Durable() }
+
+// Degraded reports whether a durable session's log has given up on its
+// filesystem: non-nil means writes are being rejected with an error
+// matching ErrDegraded while reads keep working. In-memory and closed
+// sessions are never degraded.
+func (s *Session) Degraded() error { return s.s.Degraded() }
+
+// Probe attempts to re-arm a degraded session's log, returning nil when the
+// session is healthy (or not durable) and an error while the filesystem is
+// still failing. Writes also self-probe; Probe just restores availability
+// ahead of the next write.
+func (s *Session) Probe() error { return s.s.Probe() }
+
+// SnapshotFailures reports how many automatic log compactions have failed.
+// Auto-snapshot failures are non-fatal (the log stays authoritative), so
+// this counter is the signal that compaction is not keeping up.
+func (s *Session) SnapshotFailures() int { return s.s.SnapshotFailures() }
+
+// LastSnapshotError returns the most recent automatic-snapshot failure, or
+// nil if none has failed.
+func (s *Session) LastSnapshotError() error { return s.s.LastSnapshotError() }
 
 // Tables reports the number of tables added so far.
 func (s *Session) Tables() int { return s.s.Tables() }

@@ -1,11 +1,15 @@
 package core
 
 import (
-	"fmt"
+	"errors"
 
 	"fuzzyfd/internal/table"
 	"fuzzyfd/internal/wal"
 )
+
+// ErrClosed is returned by write-side calls on a closed session. Read-side
+// calls keep working after Close.
+var ErrClosed = errors.New("core: session is closed")
 
 // Durability configures the crash-safety of a session opened with
 // OpenSession: every Add is appended to a checksummed write-ahead log and
@@ -63,7 +67,7 @@ func (s *Session) Append(tables ...*table.Table) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return fmt.Errorf("core: session is closed")
+		return ErrClosed
 	}
 	if s.store != nil {
 		if err := s.store.AppendAdd(tables); err != nil {
@@ -111,7 +115,57 @@ func (s *Session) Close() error {
 func (s *Session) maybeSnapshot() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.snapshotLocked(true)
+	err := s.snapshotLocked(true)
+	if err != nil {
+		s.snapFails++
+		s.snapErr = err
+	}
+	return err
+}
+
+// SnapshotFailures reports how many automatic snapshots have failed over
+// the session's lifetime. Auto-snapshots are deliberately non-fatal — the
+// log stays authoritative — so this counter is the only signal that
+// compaction is not keeping up; operators should watch it.
+func (s *Session) SnapshotFailures() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.snapFails
+}
+
+// LastSnapshotError returns the most recent automatic-snapshot failure, or
+// nil if none has failed.
+func (s *Session) LastSnapshotError() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.snapErr
+}
+
+// Degraded reports whether the session's log has given up on its
+// filesystem: non-nil means writes are being rejected (with an error
+// matching wal.ErrDegraded) while reads keep working. In-memory and closed
+// sessions are never degraded.
+func (s *Session) Degraded() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.store == nil || s.closed {
+		return nil
+	}
+	return s.store.Degraded()
+}
+
+// Probe attempts to re-arm a degraded session's log. It returns nil when
+// the session is healthy (or not durable) and an error while the
+// filesystem is still failing. Appends also self-probe, so calling this is
+// an optimization — it restores write availability before the next client
+// write has to pay for the attempt.
+func (s *Session) Probe() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.store == nil || s.closed {
+		return nil
+	}
+	return s.store.Probe()
 }
 
 // snapshotLocked writes a snapshot of the current session state. With auto

@@ -69,6 +69,8 @@ type Session struct {
 	snapEvery int
 	closed    bool
 	addErr    error // first Add batch lost to a log failure; poisons Integrate
+	snapFails int   // automatic snapshots that failed (non-fatal; log stays authoritative)
+	snapErr   error // most recent automatic-snapshot failure
 }
 
 // rewriteEntry caches one table's rewritten view, keyed by a digest of the

@@ -288,8 +288,10 @@ func (c *closure) run(ctx context.Context, stats *Stats) error {
 // a dirty component's store with its previous closure and lists only the
 // tuples that arrived or changed since. A nil worklist expands everything.
 func (c *closure) runFrom(ctx context.Context, work []int, stats *Stats) error {
-	if len(c.tuples) > 0 && c.bud.exceeded() {
-		return ErrTupleBudget
+	if len(c.tuples) > 0 {
+		if err := c.bud.check(); err != nil {
+			return err
+		}
 	}
 	var queue []int
 	if work == nil {
@@ -361,8 +363,10 @@ func (c *closure) runFrom(ctx context.Context, work []int, stats *Stats) error {
 // the coordinator checks it per round; on cancellation the partial round
 // is discarded and an ErrCanceled-marked error returned.
 func (c *closure) runParallel(ctx context.Context, workers int, work []int, stats *Stats) error {
-	if len(c.tuples) > 0 && c.bud.exceeded() {
-		return ErrTupleBudget
+	if len(c.tuples) > 0 {
+		if err := c.bud.check(); err != nil {
+			return err
+		}
 	}
 	var frontier []int
 	if work == nil {

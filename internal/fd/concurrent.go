@@ -609,8 +609,10 @@ func resolveShards(opts Options) int {
 // tuple set and provenance are byte-equivalent to the sequential engine's
 // up to order.
 func closeConcurrent(ctx context.Context, eng *engine, seed []Tuple, work []int, workers, shards, pivot int, bud *budget, stats *Stats) ([]Tuple, error) {
-	if len(seed) > 0 && bud.exceeded() {
-		return nil, ErrTupleBudget
+	if len(seed) > 0 {
+		if err := bud.check(); err != nil {
+			return nil, err
+		}
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, Canceled(err)

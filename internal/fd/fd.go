@@ -196,6 +196,16 @@ type Options struct {
 	// tuples (a safety valve against pathological join blowup). 0 means
 	// unlimited.
 	MaxTuples int
+	// MaxBytes aborts the computation with ErrMemoryBudget once the
+	// estimated resident size of the closure state — the interned value
+	// dictionary plus the live closure tuples across all components —
+	// exceeds this many bytes. The estimate is a deliberately simple
+	// linear model (dictionary bytes plus a per-tuple constant scaled by
+	// schema width), cheap enough for the same shared atomic counter the
+	// tuple budget uses; treat it as a resource ceiling, not allocator
+	// accounting. 0 means unlimited. The flat NoPartition ablation engines
+	// enforce only MaxTuples.
+	MaxBytes int64
 	// NoPartition disables connected-component partitioning and closes the
 	// outer union globally — the pre-partitioned engine, kept as an
 	// equivalence baseline and ablation. Partitioning is on by default.
@@ -233,6 +243,10 @@ type ComponentProgress struct {
 // ErrTupleBudget is returned when the closure exceeds Options.MaxTuples.
 var ErrTupleBudget = errors.New("fd: tuple budget exceeded")
 
+// ErrMemoryBudget is returned when the estimated closure memory exceeds
+// Options.MaxBytes.
+var ErrMemoryBudget = errors.New("fd: memory budget exceeded")
+
 // ErrCanceled marks an integration aborted by context cancellation or
 // deadline expiry. Errors returned for a dead context match both this
 // sentinel and the underlying context error under errors.Is.
@@ -264,28 +278,29 @@ func Canceled(err error) error {
 // work the session amortized away.
 type Stats struct {
 	InputTuples      int
-	OuterUnion       int // tuples after outer union + dedup
-	Values           int // distinct non-null cell values in the dictionary
-	ReusedValues     int // distinct new-row values already interned by earlier runs (0 for one-shot)
-	Components       int // connected components of the outer union (0 with NoPartition)
-	DirtyComponents  int // components (re)closed this run (= Components for one-shot partitioned runs)
-	LargestComp      int // outer-union tuples in the largest component
-	LargestClose     int // closure tuples of the largest component (0 with NoPartition)
-	Merges           int // successful complementation merges this run
-	MergeAttempts    int // candidate pairs tested this run (schedule-dependent under Workers > 1)
-	Closure          int // tuples after complementation closure
-	ReclosedTuples   int // closure tuples of the components (re)closed this run (= Closure for one-shot partitioned runs)
-	SeedReusedTuples int // closure tuples seeded from previous runs instead of re-derived (incremental re-closure)
-	StolenBatches    int // work-stealing engine: deque batches stolen by idle workers
-	Shards           int // signature shards of the work-stealing engine (0 when it did not run)
-	PivotColumn      int // pivot column of the largest component (re)closed this run; -1 when it ran unbucketed
-	PivotGroups      int // disjoint pivot-value groups closed by the pivot-partitioned hub engine (0 when it did not run)
-	PivotSkipped     int // candidate iterations skipped by pivot bucketing this run
-	PivotBuckets     int // (list, pivot-value) buckets across the posting indexes built or extended this run
-	PivotMinted      int // buckets minted mid-closure by merged tuples carrying (list, pivot) pairs absent at seeding
-	Subsumed         int // tuples removed by subsumption
-	PendingWaits     int // times an incremental Update waited on components claimed by concurrent Updates (0 for one-shot runs and disjoint concurrent Updates)
-	RestoredComps    int // components adopted from a staged snapshot export instead of (re)closed (durable-session recovery)
+	OuterUnion       int   // tuples after outer union + dedup
+	Values           int   // distinct non-null cell values in the dictionary
+	ReusedValues     int   // distinct new-row values already interned by earlier runs (0 for one-shot)
+	Components       int   // connected components of the outer union (0 with NoPartition)
+	DirtyComponents  int   // components (re)closed this run (= Components for one-shot partitioned runs)
+	LargestComp      int   // outer-union tuples in the largest component
+	LargestClose     int   // closure tuples of the largest component (0 with NoPartition)
+	Merges           int   // successful complementation merges this run
+	MergeAttempts    int   // candidate pairs tested this run (schedule-dependent under Workers > 1)
+	Closure          int   // tuples after complementation closure
+	ReclosedTuples   int   // closure tuples of the components (re)closed this run (= Closure for one-shot partitioned runs)
+	SeedReusedTuples int   // closure tuples seeded from previous runs instead of re-derived (incremental re-closure)
+	StolenBatches    int   // work-stealing engine: deque batches stolen by idle workers
+	Shards           int   // signature shards of the work-stealing engine (0 when it did not run)
+	PivotColumn      int   // pivot column of the largest component (re)closed this run; -1 when it ran unbucketed
+	PivotGroups      int   // disjoint pivot-value groups closed by the pivot-partitioned hub engine (0 when it did not run)
+	PivotSkipped     int   // candidate iterations skipped by pivot bucketing this run
+	PivotBuckets     int   // (list, pivot-value) buckets across the posting indexes built or extended this run
+	PivotMinted      int   // buckets minted mid-closure by merged tuples carrying (list, pivot) pairs absent at seeding
+	MemoryBytes      int64 // estimated peak resident bytes under the budget's linear model (0 when no budget was set)
+	Subsumed         int   // tuples removed by subsumption
+	PendingWaits     int   // times an incremental Update waited on components claimed by concurrent Updates (0 for one-shot runs and disjoint concurrent Updates)
+	RestoredComps    int   // components adopted from a staged snapshot export instead of (re)closed (durable-session recovery)
 	Output           int
 	Elapsed          time.Duration
 }
@@ -341,7 +356,7 @@ func FullDisjunctionContext(ctx context.Context, tables []*table.Table, schema S
 	eng, tuples, sigs := outerUnion(tables, schema)
 	stats.OuterUnion = len(tuples)
 	stats.Values = eng.dict.Len()
-	bud := newBudget(opts.MaxTuples, len(tuples))
+	bud := newBudget(opts, len(tuples), eng)
 
 	var kept []Tuple
 	if opts.NoPartition {
@@ -399,6 +414,7 @@ func FullDisjunctionContext(ctx context.Context, tables []*table.Table, schema S
 		kept = eng.foldAllNull(kept)
 	}
 	stats.Subsumed = stats.Closure - len(kept)
+	stats.MemoryBytes = bud.bytes()
 
 	stats.Elapsed = time.Since(start)
 	return eng.materialize(kept, schema, stats), nil

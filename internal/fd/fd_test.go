@@ -185,6 +185,27 @@ func TestTupleBudget(t *testing.T) {
 	}
 }
 
+func TestMemoryBudget(t *testing.T) {
+	tables := fig1Tables()
+	schema := IdentitySchema(tables)
+	_, err := FullDisjunction(tables, schema, Options{MaxBytes: 128})
+	if !errors.Is(err, ErrMemoryBudget) {
+		t.Errorf("tiny budget: want ErrMemoryBudget, got %v", err)
+	}
+	res, err := FullDisjunction(tables, schema, Options{MaxBytes: 1 << 20})
+	if err != nil {
+		t.Fatalf("generous budget: %v", err)
+	}
+	if res.Stats.MemoryBytes <= 0 || res.Stats.MemoryBytes > 1<<20 {
+		t.Errorf("Stats.MemoryBytes = %d, want in (0, 1MiB]", res.Stats.MemoryBytes)
+	}
+	// When both ceilings are crossed the tuple signal wins.
+	_, err = FullDisjunction(tables, schema, Options{MaxTuples: 3, MaxBytes: 128})
+	if !errors.Is(err, ErrTupleBudget) {
+		t.Errorf("both ceilings: want ErrTupleBudget, got %v", err)
+	}
+}
+
 func TestEmptyAndSingleTable(t *testing.T) {
 	empty := table.New("e", "a")
 	res, err := FullDisjunction([]*table.Table{empty}, IdentitySchema([]*table.Table{empty}), Options{})

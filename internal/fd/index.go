@@ -950,7 +950,7 @@ func (x *Index) closeLocked(ctx context.Context, opts Options, stats *Stats, onD
 		// Options.MaxTuples keeps its "total closure size" meaning across
 		// incremental runs. (Components claimed by concurrent Updates are
 		// mid-flight; their eventual surplus is not counted.)
-		bud := newBudget(opts.MaxTuples, len(x.base)+cleanExtra+seedExtra)
+		bud := newBudget(opts, len(x.base)+cleanExtra+seedExtra, eng)
 
 		// A streaming caller sees each dirty component the moment it closes,
 		// from the unlocked window below — the closeEach assembler delivers

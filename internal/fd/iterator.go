@@ -97,7 +97,7 @@ func (it *Iterator) Decode(t Tuple) table.Row { return it.eng.decodeRow(t.Cells)
 // point is that one pathological component must not block results from the
 // healthy ones before it.
 func (it *Iterator) closeComponent(comp []Tuple) ([]Tuple, error) {
-	cl := newComponentClosure(it.eng, comp, newBudget(it.opts.MaxTuples, len(comp)), pivotFor(it.opts, comp, it.eng.nCols))
+	cl := newComponentClosure(it.eng, comp, newBudget(it.opts, len(comp), it.eng), pivotFor(it.opts, comp, it.eng.nCols))
 	var stats Stats
 	if err := cl.run(context.Background(), &stats); err != nil {
 		return nil, err

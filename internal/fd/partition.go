@@ -236,8 +236,8 @@ func (e *engine) closeOne(ctx context.Context, job closeJob, opts Options, bud *
 		// A singleton component is its own closure and its own maximal
 		// tuple; skip the index setup entirely (data-lake inputs produce
 		// thousands of these).
-		if bud.exceeded() {
-			return compResult{err: ErrTupleBudget}
+		if err := bud.check(); err != nil {
+			return compResult{err: err}
 		}
 		return compResult{kept: job.tuples, store: job.tuples, sub: []int32{-1}, stats: Stats{PivotColumn: -1}, closure: 1}
 	}

@@ -61,40 +61,85 @@ func (s *sigIndex) addHashed(hash uint64, id int) {
 	s.buckets[hash] = append(s.buckets[hash], id)
 }
 
-// budget enforces Options.MaxTuples across the whole computation. Component
-// closures run concurrently, so the live tuple count is shared; each new
-// tuple reserves a slot. A nil budget is unlimited.
+// budget enforces Options.MaxTuples and Options.MaxBytes across the whole
+// computation. Component closures run concurrently, so the live tuple count
+// is shared; each new tuple reserves a slot. The memory ceiling rides on
+// the same counter through a linear model: estimated bytes = the engine
+// dictionary's retained bytes (fixed at budget creation — interning happens
+// at outer-union time, before closures run) + live tuples × a per-tuple
+// cost scaled by schema width. A nil budget is unlimited.
 type budget struct {
-	max int64
-	n   atomic.Int64
+	maxTuples int64 // 0 = no tuple ceiling
+	maxBytes  int64 // 0 = no byte ceiling
+	baseBytes int64 // dictionary bytes, already resident before the closure
+	perTuple  int64 // estimated bytes one live closure tuple retains
+	n         atomic.Int64
 }
 
-// newBudget returns a budget over max tuples with initial tuples already
-// live, or nil when max is 0 (unlimited).
-func newBudget(max, initial int) *budget {
-	if max <= 0 {
+// Estimated bytes one live closure tuple retains beyond the dictionary: the
+// Tuple struct's slice headers, amortized provenance, and the tuple's share
+// of the signature and posting indexes — plus its cell symbols, scaled by
+// column count.
+const (
+	tupleBaseBytes = 96
+	tupleColBytes  = 16
+)
+
+// newBudget returns a budget with initial tuples already live, or nil when
+// neither ceiling is set (unlimited).
+func newBudget(opts Options, initial int, eng *engine) *budget {
+	if opts.MaxTuples <= 0 && opts.MaxBytes <= 0 {
 		return nil
 	}
-	b := &budget{max: int64(max)}
+	b := &budget{
+		maxTuples: int64(opts.MaxTuples),
+		maxBytes:  opts.MaxBytes,
+		perTuple:  tupleBaseBytes,
+	}
+	if eng != nil {
+		b.baseBytes = eng.dict.Bytes()
+		b.perTuple += tupleColBytes * int64(eng.nCols)
+	}
 	b.n.Store(int64(initial))
 	return b
 }
 
-// exceeded reports whether the live count is already over budget (the
+// check reports whether the live count is already over either ceiling (the
 // pre-closure check: an outer union larger than the budget fails on the
 // first component processed, matching the global engine).
-func (b *budget) exceeded() bool {
-	return b != nil && b.n.Load() > b.max
+func (b *budget) check() error {
+	if b == nil {
+		return nil
+	}
+	return b.over(b.n.Load())
 }
 
-// add reserves k new tuples, reporting ErrTupleBudget once the total
-// exceeds the budget.
+// add reserves k new tuples, reporting the violated ceiling's error once
+// the total exceeds it.
 func (b *budget) add(k int) error {
 	if b == nil {
 		return nil
 	}
-	if b.n.Add(int64(k)) > b.max {
+	return b.over(b.n.Add(int64(k)))
+}
+
+// over maps a live tuple count to the budget error it violates, if any.
+// Tuples are checked first: when both ceilings are crossed the older,
+// more specific signal wins.
+func (b *budget) over(n int64) error {
+	if b.maxTuples > 0 && n > b.maxTuples {
 		return ErrTupleBudget
 	}
+	if b.maxBytes > 0 && b.baseBytes+n*b.perTuple > b.maxBytes {
+		return ErrMemoryBudget
+	}
 	return nil
+}
+
+// bytes estimates the resident closure memory at the current live count.
+func (b *budget) bytes() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.baseBytes + b.n.Load()*b.perTuple
 }

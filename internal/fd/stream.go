@@ -60,7 +60,7 @@ func Stream(ctx context.Context, tables []*table.Table, schema Schema, opts Opti
 		}
 	}
 
-	bud := newBudget(opts.MaxTuples, len(base))
+	bud := newBudget(opts, len(base), eng)
 	kept := 0    // tuples surviving subsumption in delivered components
 	emitted := 0 // rows actually handed to emit
 	// Components complete in any order under Workers > 1; buffer
@@ -127,6 +127,7 @@ func Stream(ctx context.Context, tables []*table.Table, schema Schema, opts Opti
 	stats.ReclosedTuples = stats.Closure
 	stats.Subsumed = stats.Closure - kept
 	stats.Output = emitted
+	stats.MemoryBytes = bud.bytes()
 	stats.Elapsed = time.Since(start)
 	return stats, err
 }

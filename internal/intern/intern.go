@@ -26,9 +26,16 @@ const Null uint32 = 0
 // engine interns single-threaded during the outer union and only reads
 // afterwards).
 type Dict struct {
-	ids  map[string]uint32
-	vals []string // vals[sym-1] is the value of symbol sym
+	ids   map[string]uint32
+	vals  []string // vals[sym-1] is the value of symbol sym
+	bytes int64    // estimated retained bytes, maintained by Intern
 }
+
+// dictEntryBytes estimates the fixed per-value overhead of one interned
+// value: its map entry, string headers in vals and the map key, and its
+// amortized share of the map's buckets. The point is a stable linear model
+// for memory budgeting, not allocator-exact accounting.
+const dictEntryBytes = 64
 
 // NewDict returns an empty dictionary.
 func NewDict() *Dict {
@@ -44,8 +51,12 @@ func (d *Dict) Intern(s string) uint32 {
 	d.vals = append(d.vals, s)
 	sym := uint32(len(d.vals))
 	d.ids[s] = sym
+	d.bytes += int64(len(s)) + dictEntryBytes
 	return sym
 }
+
+// Bytes estimates the memory the dictionary retains, for memory budgeting.
+func (d *Dict) Bytes() int64 { return d.bytes }
 
 // Symbol returns the symbol for s without interning, and whether s is
 // known.
@@ -82,17 +93,21 @@ func (d *Dict) Less(a, b uint32) bool {
 // one is O(1) and later Intern calls on the parent neither invalidate the
 // view nor race with reads through it.
 type Snapshot struct {
-	vals []string
+	vals  []string
+	bytes int64
 }
 
 // Snapshot captures the dictionary's current contents as an immutable
 // view. Symbols interned after the snapshot are unknown to it.
 func (d *Dict) Snapshot() Snapshot {
-	return Snapshot{vals: d.vals[:len(d.vals):len(d.vals)]}
+	return Snapshot{vals: d.vals[:len(d.vals):len(d.vals)], bytes: d.bytes}
 }
 
 // Len reports the number of symbols the snapshot covers.
 func (s Snapshot) Len() int { return len(s.vals) }
+
+// Bytes estimates the memory retained by the snapshotted dictionary.
+func (s Snapshot) Bytes() int64 { return s.bytes }
 
 // Contains reports whether sym was assigned at snapshot time (Null is
 // never assigned, so it is not contained).

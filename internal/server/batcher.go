@@ -2,11 +2,17 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
 	"fuzzyfd"
 )
+
+// errQueueFull rejects an add whose session already has a full accumulating
+// flight — the bounded-ingestion-queue admission signal, surfaced as a
+// typed 429 so clients back off instead of piling memory onto the daemon.
+var errQueueFull = errors.New("fuzzyfdd: session ingestion queue is full")
 
 // batcher coalesces concurrent table-adds to one session into single
 // incremental integrations. One flight runs at a time; adds arriving while
@@ -21,6 +27,9 @@ type batcher struct {
 	sess     *fuzzyfd.Session
 	opMu     *sync.Mutex                  // the owning session's integrate/stream serializer
 	wg       *sync.WaitGroup              // the server's drain group; flights count against it
+	maxQueue int                          // tables one accumulating flight may hold (0: unbounded)
+	sem      chan struct{}                // server-wide in-flight integration slots (nil: unbounded)
+	waited   func()                       // metrics bridge: a flight blocked on a sem slot
 	hook     func()                       // test hook: runs before each flight integrates
 	done     func(*fuzzyfd.Result, error) // metrics bridge, called once per flight
 	panicked func(v any)                  // panic bridge (metrics + stack log), called per recovered panic
@@ -47,6 +56,10 @@ func (b *batcher) add(ctx context.Context, tables ...*fuzzyfd.Table) (*fuzzyfd.R
 	b.mu.Lock()
 	if b.cur == nil {
 		b.cur = &flight{done: make(chan struct{})}
+	}
+	if b.maxQueue > 0 && len(b.cur.tables)+len(tables) > b.maxQueue {
+		b.mu.Unlock()
+		return nil, errQueueFull
 	}
 	b.cur.tables = append(b.cur.tables, tables...)
 	f := b.cur
@@ -103,6 +116,22 @@ func (b *batcher) integrate(f *flight) {
 			f.res, f.err = nil, fmt.Errorf("fuzzyfdd: integration panicked: %v", p)
 		}
 	}()
+	// The global in-flight limiter queues flights rather than failing them:
+	// waiters already hold acknowledged-in-queue tables, so backpressure —
+	// not rejection — is the correct shape here. Admission rejection happens
+	// earlier, at the bounded queue and the rate limiter. The slot is taken
+	// before the test hook so tests can observe a flight holding one.
+	if b.sem != nil {
+		select {
+		case b.sem <- struct{}{}:
+		default:
+			if b.waited != nil {
+				b.waited()
+			}
+			b.sem <- struct{}{}
+		}
+		defer func() { <-b.sem }()
+	}
 	if b.hook != nil {
 		b.hook()
 	}

@@ -8,10 +8,12 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net/http"
 	"os"
 	"runtime/debug"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -55,6 +57,24 @@ func writeErrorCode(w http.ResponseWriter, r *http.Request, status int, code, fo
 		Code:      code,
 		RequestID: requestID(r),
 	})
+}
+
+// writeThrottled is writeErrorCode plus a Retry-After header (whole
+// seconds, at least 1) — the shape of every overload rejection: session
+// limit, queue full, rate limit, drain, and degraded-log 503s.
+func writeThrottled(w http.ResponseWriter, r *http.Request, status int, code string, retryAfter time.Duration, format string, args ...any) {
+	secs := int(math.Ceil(retryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeErrorCode(w, r, status, code, format, args...)
+}
+
+// writeDraining answers a state-changing request arriving after drain began.
+func (s *Server) writeDraining(w http.ResponseWriter, r *http.Request) {
+	s.met.throttled.With("draining").Inc()
+	writeThrottled(w, r, http.StatusServiceUnavailable, "draining", time.Second, "draining")
 }
 
 // timedOut reports whether err is the request deadline firing, in which
@@ -118,7 +138,7 @@ func (s *Server) handleListSessions(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	release, ok := s.track()
 	if !ok {
-		writeError(w, http.StatusServiceUnavailable, "draining")
+		s.writeDraining(w, r)
 		return
 	}
 	defer release()
@@ -135,7 +155,9 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	})
 	switch {
 	case full:
-		writeError(w, http.StatusTooManyRequests, "session limit %d reached", s.cfg.MaxSessions)
+		s.met.throttled.With("session_limit").Inc()
+		writeThrottled(w, r, http.StatusTooManyRequests, "session_limit", time.Second,
+			"session limit %d reached", s.cfg.MaxSessions)
 		return
 	case err != nil:
 		writeError(w, http.StatusBadRequest, "session options: %v", err)
@@ -158,6 +180,7 @@ func (s *Server) newSession(name string, opts sessionOptions) (*session, error) 
 	}
 	c := &session{name: name, dir: dir}
 	c.hub = newHub(func() { s.met.sseDropped.With(name).Inc() })
+	c.tb = newTokenBucket(s.cfg.RatePerSec, s.cfg.Burst)
 	fs, err := s.buildSession(opts, c.hub, dir)
 	if err != nil {
 		return nil, err
@@ -169,12 +192,28 @@ func (s *Server) newSession(name string, opts sessionOptions) (*session, error) 
 		}
 	}
 	c.sess = fs
+	// Auto-snapshots are deliberately non-fatal, which makes them silent;
+	// the per-flight bridge surfaces the failure counter's delta as a
+	// metric and a warn log naming the session. snapPrev needs no lock:
+	// done runs on the batcher goroutine, one flight at a time.
+	snapPrev := 0
 	c.bat = &batcher{
-		sess: fs,
-		opMu: &c.opMu,
-		wg:   &s.inflight,
-		hook: s.hookFor(name),
-		done: func(res *fuzzyfd.Result, err error) { s.met.onIntegrated(name, fs, res, err) },
+		sess:     fs,
+		opMu:     &c.opMu,
+		wg:       &s.inflight,
+		maxQueue: s.cfg.MaxQueue,
+		sem:      s.sem,
+		waited:   func() { s.met.inflightWaits.With().Inc() },
+		hook:     s.hookFor(name),
+		done: func(res *fuzzyfd.Result, err error) {
+			s.met.onIntegrated(name, fs, res, err)
+			if n := fs.SnapshotFailures(); n > snapPrev {
+				s.met.snapshotFailures.With(name).Add(float64(n - snapPrev))
+				log.Printf("fuzzyfdd: session %q: automatic snapshot failed (%d total): %v",
+					name, n, fs.LastSnapshotError())
+				snapPrev = n
+			}
+		},
 		panicked: func(v any) {
 			s.met.panics.With().Inc()
 			log.Printf("fuzzyfdd: session %q: integration panic: %v\n%s", name, v, debug.Stack())
@@ -215,12 +254,16 @@ func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	release, ok := s.track()
 	if !ok {
-		writeError(w, http.StatusServiceUnavailable, "draining")
+		s.writeDraining(w, r)
 		return
 	}
 	defer release()
 	name := r.PathValue("name")
 	c := s.reg.remove(name)
+	// remove marked the name closing; hold the mark through close and
+	// directory removal so a lazy reopen cannot resurrect the session from
+	// a store mid-close or a directory mid-removal.
+	defer s.reg.finishClose(name)
 	dir, _ := s.sessionDir(name)
 	if c == nil && dir != "" {
 		// Not live, but possibly on disk (evicted, or from a previous
@@ -251,7 +294,7 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleAddTables(w http.ResponseWriter, r *http.Request) {
 	release, ok := s.track()
 	if !ok {
-		writeError(w, http.StatusServiceUnavailable, "draining")
+		s.writeDraining(w, r)
 		return
 	}
 	defer release()
@@ -259,6 +302,12 @@ func (s *Server) handleAddTables(w http.ResponseWriter, r *http.Request) {
 	c := s.session(name)
 	if c == nil {
 		writeError(w, http.StatusNotFound, "no session %q", name)
+		return
+	}
+	if wait, ok := c.tb.allow(); !ok {
+		s.met.throttled.With("rate_limited").Inc()
+		writeThrottled(w, r, http.StatusTooManyRequests, "rate_limited", wait,
+			"session %q rate limit exceeded (%.3g/s, burst %d)", name, s.cfg.RatePerSec, s.cfg.Burst)
 		return
 	}
 	tableName := r.URL.Query().Get("table")
@@ -280,11 +329,26 @@ func (s *Server) handleAddTables(w http.ResponseWriter, r *http.Request) {
 	res, err := c.bat.add(ctx, tbl)
 	if err != nil {
 		switch {
+		case errors.Is(err, errQueueFull):
+			s.met.throttled.With("queue_full").Inc()
+			writeThrottled(w, r, http.StatusTooManyRequests, "queue_full", time.Second,
+				"session %q ingestion queue is full (limit %d tables per flight)", name, s.cfg.MaxQueue)
 		case timedOut(err):
 			writeErrorCode(w, r, http.StatusGatewayTimeout, "timeout",
 				"integration exceeded the request timeout %s (it continues in the background)", s.cfg.RequestTimeout)
 		case errors.Is(err, fuzzyfd.ErrTupleBudget):
-			writeError(w, http.StatusUnprocessableEntity, "integrate: %v", err)
+			writeErrorCode(w, r, http.StatusUnprocessableEntity, "tuple_budget", "integrate: %v", err)
+		case errors.Is(err, fuzzyfd.ErrMemoryBudget):
+			writeErrorCode(w, r, http.StatusUnprocessableEntity, "memory_budget", "integrate: %v", err)
+		case errors.Is(err, fuzzyfd.ErrDegraded):
+			// Degraded mode: the session's log gave up on its filesystem.
+			// Reads and streams keep working; writes come back once a probe
+			// (periodic, or the next write's own) re-arms the log.
+			writeThrottled(w, r, http.StatusServiceUnavailable, "degraded", s.probeEvery(),
+				"session %q is degraded (log unavailable, reads still served): %v", name, err)
+		case errors.Is(err, fuzzyfd.ErrSessionClosed):
+			writeThrottled(w, r, http.StatusServiceUnavailable, "session_closed", time.Second,
+				"session %q was closed mid-request; retry", name)
 		default:
 			writeErrorCode(w, r, http.StatusInternalServerError, "integrate_failed", "integrate: %v", err)
 		}
@@ -306,7 +370,7 @@ func (s *Server) handleAddTables(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	release, ok := s.track()
 	if !ok {
-		writeError(w, http.StatusServiceUnavailable, "draining")
+		s.writeDraining(w, r)
 		return
 	}
 	defer release()
@@ -409,7 +473,7 @@ func (s *Server) streamResult(w http.ResponseWriter, r *http.Request, c *session
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	release, ok := s.track()
 	if !ok {
-		writeError(w, http.StatusServiceUnavailable, "draining")
+		s.writeDraining(w, r)
 		return
 	}
 	defer release()

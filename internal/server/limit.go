@@ -1,0 +1,53 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// tokenBucket is a per-session rate limiter for ingestion requests. Tokens
+// accrue continuously at rate per second up to burst; each admitted request
+// spends one. A nil bucket admits everything — sessions on servers with no
+// configured rate carry nil and pay nothing.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// newTokenBucket returns a bucket admitting rate requests per second with
+// the given burst (at least 1), or nil when rate is unset.
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	return &tokenBucket{rate: rate, burst: b, tokens: b, last: time.Now()}
+}
+
+// allow spends one token if available. When the bucket is empty it reports
+// false and how long until a token accrues — the Retry-After the handler
+// should advertise.
+func (tb *tokenBucket) allow() (time.Duration, bool) {
+	if tb == nil {
+		return 0, true
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	now := time.Now()
+	tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
+	tb.last = now
+	if tb.tokens > tb.burst {
+		tb.tokens = tb.burst
+	}
+	if tb.tokens >= 1 {
+		tb.tokens--
+		return 0, true
+	}
+	return time.Duration((1 - tb.tokens) / tb.rate * float64(time.Second)), false
+}

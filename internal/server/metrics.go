@@ -37,6 +37,12 @@ type serverMetrics struct {
 
 	rowsStreamed *metrics.Family // counter {session}
 	sseDropped   *metrics.Family // counter {session}
+
+	sessionsDegraded *metrics.Family // gauge: degraded durable sessions (set at scrape)
+	snapshotFailures *metrics.Family // counter {session}: failed automatic snapshots
+	throttled        *metrics.Family // counter {reason}: requests rejected by admission control
+	inflightWaits    *metrics.Family // counter: flights that queued on the in-flight limiter
+	probeRecoveries  *metrics.Family // counter: degraded logs re-armed by the prober
 }
 
 func newServerMetrics() *serverMetrics {
@@ -62,6 +68,11 @@ func newServerMetrics() *serverMetrics {
 		phaseRuns:         r.Counter("fuzzyfdd_phase_runs_total", "Phase executions per pipeline phase.", "phase"),
 		rowsStreamed:      r.Counter("fuzzyfdd_result_rows_streamed_total", "Result rows streamed to clients.", "session"),
 		sseDropped:        r.Counter("fuzzyfdd_sse_dropped_total", "Progress events dropped on slow SSE subscribers.", "session"),
+		sessionsDegraded:  r.Gauge("fuzzyfdd_sessions_degraded", "Durable sessions whose log is degraded (writes rejected, reads served)."),
+		snapshotFailures:  r.Counter("fuzzyfdd_snapshot_failures_total", "Automatic log compactions that failed (non-fatal; the log stays authoritative).", "session"),
+		throttled:         r.Counter("fuzzyfdd_throttled_total", "Requests rejected by admission control.", "reason"),
+		inflightWaits:     r.Counter("fuzzyfdd_inflight_waits_total", "Coalesced flights that queued on the in-flight integration limiter."),
+		probeRecoveries:   r.Counter("fuzzyfdd_probe_recoveries_total", "Degraded session logs re-armed by the recovery prober."),
 	}
 }
 
@@ -105,6 +116,7 @@ func (m *serverMetrics) sessionEvicted(name string) {
 		m.sessionTuples, m.sessionComponents, m.sessionRows,
 		m.reclosedTuples, m.pivotSkipped, m.pendingWaits,
 		m.rewriteCacheHits, m.rowsStreamed, m.sseDropped,
+		m.snapshotFailures,
 	} {
 		f.Delete(name)
 	}
@@ -114,6 +126,13 @@ func (m *serverMetrics) sessionEvicted(name string) {
 // scrape-time gauges first.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.met.sessions.With().Set(float64(s.reg.count()))
+	degraded := 0
+	for _, c := range s.reg.list() {
+		if c.sess.Degraded() != nil {
+			degraded++
+		}
+	}
+	s.met.sessionsDegraded.With().Set(float64(degraded))
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.met.reg.WriteText(w)
 }

@@ -22,6 +22,8 @@ type session struct {
 	hub  *hub
 	opMu sync.Mutex
 
+	tb *tokenBucket // per-session ingestion rate limiter (nil: unlimited)
+
 	mu       sync.Mutex
 	lastUsed time.Time
 	created  time.Time
@@ -48,10 +50,15 @@ func (c *session) idleSince() time.Time {
 	return c.lastUsed
 }
 
-// registry is the named-session table with the tenant cap.
+// registry is the named-session table with the tenant cap. closing marks
+// names whose session has left the map but whose store is still being
+// closed (janitor eviction, DELETE): a lazy durable reopen of the same name
+// must not open the write-ahead log while the departing store still holds
+// it, so put waits for the mark to clear.
 type registry struct {
 	mu       sync.Mutex
 	sessions map[string]*session
+	closing  map[string]chan struct{}
 	max      int
 }
 
@@ -73,6 +80,17 @@ func (r *registry) get(name string) *session {
 // and holding the lock keeps create-vs-create races trivially correct.
 func (r *registry) put(name string, mk func() (*session, error)) (c *session, created, full bool, err error) {
 	r.mu.Lock()
+	for {
+		ch := r.closing[name]
+		if ch == nil {
+			break
+		}
+		// The name's previous incarnation is mid-close; wait it out so mk
+		// never opens a store the departing session still holds.
+		r.mu.Unlock()
+		<-ch
+		r.mu.Lock()
+	}
 	defer r.mu.Unlock()
 	if c = r.sessions[name]; c != nil {
 		c.touch()
@@ -91,13 +109,38 @@ func (r *registry) put(name string, mk func() (*session, error)) (c *session, cr
 	return c, true, false, nil
 }
 
-// remove deletes and returns the named session, or nil.
+// remove deletes and returns the named session, marking the name closing
+// until the caller's finishClose — a concurrent lazy reopen must not open
+// the store mid-close or race a directory removal.
 func (r *registry) remove(name string) *session {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	c := r.sessions[name]
 	delete(r.sessions, name)
+	r.markClosing(name)
 	return c
+}
+
+// markClosing records name as mid-close. Caller holds r.mu.
+func (r *registry) markClosing(name string) {
+	if r.closing == nil {
+		r.closing = make(map[string]chan struct{})
+	}
+	if _, ok := r.closing[name]; !ok {
+		r.closing[name] = make(chan struct{})
+	}
+}
+
+// finishClose clears a closing mark, releasing reopens waiting on the name.
+// Idempotent: a second call for the same mark is a no-op.
+func (r *registry) finishClose(name string) {
+	r.mu.Lock()
+	ch := r.closing[name]
+	delete(r.closing, name)
+	r.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
 }
 
 // list snapshots the sessions sorted by nothing in particular; callers
@@ -128,6 +171,7 @@ func (r *registry) evictIdle(ttl time.Duration) []*session {
 	for name, c := range r.sessions {
 		if c.idleSince().Before(cutoff) && c.bat.idle() {
 			delete(r.sessions, name)
+			r.markClosing(name)
 			evicted = append(evicted, c)
 		}
 	}

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"fuzzyfd"
+	"fuzzyfd/internal/wal"
 )
 
 // Config bounds and defaults for a Server. The zero value is usable:
@@ -59,6 +60,34 @@ type Config struct {
 	MaxLineBytes int
 	// MaxRows caps the rows of one ingested table (0: unlimited).
 	MaxRows int
+	// MaxQueue caps the tables one session's accumulating flight may hold;
+	// adds beyond it get a typed 429 (queue_full) instead of growing the
+	// daemon's memory without bound. Zero leaves the queue unbounded.
+	MaxQueue int
+	// MaxInflight caps coalesced integrations running concurrently across
+	// all sessions. Excess flights queue (their waiters already hold
+	// admitted tables) rather than fail; fuzzyfdd_inflight_waits_total
+	// counts the queuing. Zero leaves it unbounded.
+	MaxInflight int
+	// RatePerSec admits at most this many table-add requests per second per
+	// session (token bucket, capacity Burst); excess gets a typed 429
+	// (rate_limited) with Retry-After. Zero disables rate limiting.
+	RatePerSec float64
+	// Burst is the token-bucket capacity for RatePerSec (minimum 1).
+	Burst int
+	// MemoryBudget is the default per-session Full Disjunction memory
+	// budget in bytes (fuzzyfd.WithMemoryBudget); zero runs unbounded. A
+	// session's creation request may lower it but not exceed it.
+	MemoryBudget int64
+	// ProbeInterval is how often the recovery prober retries degraded
+	// durable sessions' logs, re-arming writes once the filesystem heals.
+	// Zero defaults to 5s (when DataDir is set); negative disables the
+	// prober — writes still self-probe.
+	ProbeInterval time.Duration
+	// WALFS overrides the filesystem durable sessions log to. Nil means the
+	// operating system's; fault-injecting filesystems (wal.NewFlakyFS) plug
+	// in here for chaos testing.
+	WALFS wal.FS
 }
 
 // Server hosts the fuzzyfdd HTTP API. Create with New, serve its Handler,
@@ -68,6 +97,7 @@ type Server struct {
 	mux *http.ServeMux
 	reg *registry
 	met *serverMetrics
+	sem chan struct{} // in-flight integration slots (nil: unbounded)
 
 	reqSeq uint64 // atomic: request id counter
 
@@ -78,6 +108,8 @@ type Server struct {
 
 	stopJanitor chan struct{}
 	janitorDone chan struct{}
+	stopProber  chan struct{}
+	proberDone  chan struct{}
 
 	// testHookIntegrate, when set, runs on the batcher goroutine
 	// immediately before each coalesced integration — tests use it to
@@ -98,13 +130,29 @@ func New(cfg Config) *Server {
 		drainCh: make(chan struct{}),
 	}
 	s.reg = &registry{sessions: make(map[string]*session), max: cfg.MaxSessions}
+	if cfg.MaxInflight > 0 {
+		s.sem = make(chan struct{}, cfg.MaxInflight)
+	}
 	s.routes()
 	if cfg.IdleTTL > 0 {
 		s.stopJanitor = make(chan struct{})
 		s.janitorDone = make(chan struct{})
 		go s.janitor()
 	}
+	if cfg.DataDir != "" && cfg.ProbeInterval >= 0 {
+		s.stopProber = make(chan struct{})
+		s.proberDone = make(chan struct{})
+		go s.prober()
+	}
 	return s
+}
+
+// probeEvery resolves the recovery prober's period.
+func (s *Server) probeEvery() time.Duration {
+	if s.cfg.ProbeInterval > 0 {
+		return s.cfg.ProbeInterval
+	}
+	return 5 * time.Second
 }
 
 // ServeHTTP makes the Server an http.Handler. Every request gets an id,
@@ -180,12 +228,18 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 }
 
-// Close stops the janitor. It does not wait for requests; call Drain first.
+// Close stops the janitor and the recovery prober. It does not wait for
+// requests; call Drain first.
 func (s *Server) Close() {
 	if s.stopJanitor != nil {
 		close(s.stopJanitor)
 		<-s.janitorDone
 		s.stopJanitor = nil
+	}
+	if s.stopProber != nil {
+		close(s.stopProber)
+		<-s.proberDone
+		s.stopProber = nil
 	}
 }
 
@@ -218,11 +272,40 @@ func (s *Server) janitor() {
 		case <-t.C:
 			for _, sess := range s.reg.evictIdle(s.cfg.IdleTTL) {
 				// Durable sessions flush to disk on close, so eviction is
-				// a cache drop — the next request lazily reopens them.
+				// a cache drop — the next request lazily reopens them. The
+				// registry marks the name closing until finishClose, so a
+				// reopen racing this close waits instead of opening the
+				// store the departing session still holds.
 				if err := sess.close(); err != nil {
 					log.Printf("fuzzyfdd: evict session %q: %v", sess.name, err)
 				}
 				s.met.sessionEvicted(sess.name)
+				s.reg.finishClose(sess.name)
+			}
+		}
+	}
+}
+
+// prober periodically retries degraded durable sessions' logs so write
+// availability returns as soon as the filesystem heals, instead of the
+// first post-heal client write paying for the probe.
+func (s *Server) prober() {
+	defer close(s.proberDone)
+	t := time.NewTicker(s.probeEvery())
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopProber:
+			return
+		case <-t.C:
+			for _, c := range s.reg.list() {
+				if c.sess.Degraded() == nil {
+					continue
+				}
+				if err := c.sess.Probe(); err == nil {
+					s.met.probeRecoveries.With().Inc()
+					log.Printf("fuzzyfdd: session %q: log re-armed, writes restored", c.name)
+				}
 			}
 		}
 	}
@@ -242,6 +325,9 @@ type sessionOptions struct {
 	// Budget overrides the tuple budget; it may not exceed the server's
 	// configured TupleBudget when one is set.
 	Budget int `json:"budget,omitempty"`
+	// MemoryBudget overrides the memory budget in bytes; it may not exceed
+	// the server's configured MemoryBudget when one is set.
+	MemoryBudget int64 `json:"memory_budget,omitempty"`
 	// ContentAlign aligns columns by content instead of header names.
 	ContentAlign bool `json:"content_align,omitempty"`
 }
@@ -277,8 +363,18 @@ func (s *Server) buildSession(o sessionOptions, h *hub, dir string) (*fuzzyfd.Se
 	if budget > 0 {
 		opts = append(opts, fuzzyfd.WithTupleBudget(budget))
 	}
+	memory := o.MemoryBudget
+	if s.cfg.MemoryBudget > 0 && (memory <= 0 || memory > s.cfg.MemoryBudget) {
+		memory = s.cfg.MemoryBudget
+	}
+	if memory > 0 {
+		opts = append(opts, fuzzyfd.WithMemoryBudget(memory))
+	}
 	opts = append(opts, fuzzyfd.WithProgress(h.publish))
 	if dir != "" {
+		if s.cfg.WALFS != nil {
+			opts = append(opts, fuzzyfd.WithDurability(fuzzyfd.Durability{FS: s.cfg.WALFS}))
+		}
 		return fuzzyfd.OpenSession(dir, opts...)
 	}
 	return fuzzyfd.NewSession(opts...)
@@ -304,10 +400,16 @@ func (s *Server) sessionDir(name string) (string, error) {
 	return filepath.Join(s.cfg.DataDir, esc), nil
 }
 
-// saveOptions persists the creation options next to the session's log.
+// saveOptions persists the creation options next to the session's log. It
+// creates the directory itself: the log usually has already, but when the
+// WAL is on an injected filesystem (Config.WALFS) the options file is the
+// first thing to land in the real one.
 func saveOptions(dir string, o sessionOptions) error {
 	data, err := json.Marshal(o)
 	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	return os.WriteFile(filepath.Join(dir, optionsFile), append(data, '\n'), 0o644)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -149,7 +150,9 @@ func (m *MemFS) FlipBit(name string, byteIdx int, bit uint) error {
 	return nil
 }
 
-var errNotExist = errors.New("file does not exist")
+// errNotExist aliases the standard sentinel so missing-path failures are
+// classified permanent by IsTransient, exactly like the real filesystem's.
+var errNotExist = os.ErrNotExist
 
 func clean(p string) string { return filepath.Clean(p) }
 

@@ -1,0 +1,80 @@
+package wal
+
+import (
+	"errors"
+	"math/rand/v2"
+	"os"
+	"time"
+)
+
+// ErrDegraded marks a store whose log could not be written even after
+// retries: appends and snapshots are refused until a Probe re-arms the log,
+// while the already-acknowledged state stays fully readable. Matched with
+// errors.Is through any wrapping.
+var ErrDegraded = errors.New("wal: store degraded, writes unavailable")
+
+// degradedError wraps the fault that degraded the store so callers can
+// match ErrDegraded while still unwrapping to the root cause.
+type degradedError struct{ cause error }
+
+func (e *degradedError) Error() string        { return "wal: store degraded: " + e.cause.Error() }
+func (e *degradedError) Unwrap() error        { return e.cause }
+func (e *degradedError) Is(target error) bool { return target == ErrDegraded }
+
+// IsTransient classifies an FS failure for the retry loops: permission
+// denial, a missing path, an invalid or closed handle, and the test
+// filesystem's simulated machine death are permanent — retrying them only
+// repeats the answer — while everything else (EIO, ENOSPC-ish conditions,
+// injected faults) is worth a bounded retry because real disks and network
+// filesystems produce them transiently.
+func IsTransient(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, os.ErrPermission),
+		errors.Is(err, os.ErrNotExist),
+		errors.Is(err, os.ErrInvalid),
+		errors.Is(err, os.ErrClosed),
+		errors.Is(err, ErrCrashed):
+		return false
+	}
+	return true
+}
+
+const (
+	// defaultRetryAttempts is how many times a transient fault is retried
+	// before the store degrades (the first try plus this many retries).
+	defaultRetryAttempts = 4
+	// defaultRetryBase is the first backoff step; each retry doubles it.
+	defaultRetryBase = 2 * time.Millisecond
+	// maxRetryBackoff caps the exponential growth so a long retry ladder
+	// never turns into multi-second stalls under the session lock.
+	maxRetryBackoff = 250 * time.Millisecond
+)
+
+// retries resolves the Options knob: 0 means the default, negative means
+// no retries at all.
+func (o Options) retries() int {
+	switch {
+	case o.RetryAttempts < 0:
+		return 0
+	case o.RetryAttempts == 0:
+		return defaultRetryAttempts
+	}
+	return o.RetryAttempts
+}
+
+// sleepBackoff sleeps the attempt-th step of a bounded exponential backoff
+// with jitter: base<<attempt capped at maxRetryBackoff, plus up to half of
+// itself so colliding retriers decorrelate.
+func sleepBackoff(base time.Duration, attempt int) {
+	if base <= 0 {
+		base = defaultRetryBase
+	}
+	d := base << uint(min(attempt, 16))
+	if d > maxRetryBackoff || d <= 0 {
+		d = maxRetryBackoff
+	}
+	d += rand.N(d/2 + 1)
+	time.Sleep(d)
+}

@@ -2,12 +2,15 @@ package wal
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"fuzzyfd/internal/fd"
 	"fuzzyfd/internal/intern"
@@ -68,6 +71,13 @@ type Options struct {
 	// NoSync skips every fsync — faster, crash-unsafe. For tests and
 	// throwaway sessions only.
 	NoSync bool
+	// RetryAttempts is how many times a transient write fault (see
+	// IsTransient) is retried with exponential backoff before the store
+	// degrades. 0 means a small default; negative disables retries.
+	RetryAttempts int
+	// RetryBackoff is the first backoff step between retries; each retry
+	// doubles it, capped and jittered. 0 means a small default.
+	RetryBackoff time.Duration
 }
 
 // Recovered is what Open reconstructed from disk: every acknowledged table
@@ -102,7 +112,15 @@ type Store struct {
 	log       File  // nil until the first append after open/rotate
 	committed int64 // log offset up to which frames are acknowledged
 	frames    int   // acknowledged frames in the current log
-	broken    error // sticky: the log could not be repaired after a failed append
+
+	// degraded, when non-nil, records the fault that exhausted the write
+	// retries: appends and snapshots are refused (read state is untouched)
+	// until Probe verifies the log is appendable again and clears it.
+	degraded error
+
+	retryN    int           // transient-fault retries before degrading
+	retryBase time.Duration // first backoff step between retries
+	retried   int64         // transient faults retried away, for diagnostics
 
 	buf []byte // payload scratch, reused across appends
 }
@@ -118,7 +136,10 @@ func Open(dir string, opts Options) (*Store, *Recovered, error) {
 	if err := fsys.MkdirAll(dir); err != nil {
 		return nil, nil, pathErr("mkdir", dir, err)
 	}
-	w := &Store{fs: fsys, dir: dir, noSync: opts.NoSync, dict: intern.NewDict()}
+	w := &Store{
+		fs: fsys, dir: dir, noSync: opts.NoSync, dict: intern.NewDict(),
+		retryN: opts.retries(), retryBase: opts.RetryBackoff,
+	}
 	rec := &Recovered{}
 
 	seq, err := w.resolveSnapshot(rec)
@@ -272,14 +293,15 @@ func (w *Store) replayFrame(payload []byte, rec *Recovered) error {
 // AppendAdd makes one Add batch durable: intern its cells, frame the newly
 // seen dictionary values plus the symbol-encoded tables, append, fsync. On
 // a write or sync failure the partial frame is cut back off the log so the
-// file stays appendable; if even that repair fails the store is broken and
-// every later call returns the same error.
+// file stays appendable, and transient faults are retried with bounded
+// exponential backoff — the frame is valid to rewrite verbatim, because
+// durableVals only advances on success. Once retries exhaust (or the fault
+// is permanent, or the log's tail cannot be repaired) the store degrades:
+// later writes fail fast with an ErrDegraded-matching error until Probe
+// re-arms the log.
 func (w *Store) AppendAdd(tables []*table.Table) error {
-	if w.broken != nil {
-		return w.broken
-	}
-	if err := w.ensureLog(); err != nil {
-		return err
+	if w.degraded != nil && w.Probe() != nil {
+		return &degradedError{cause: w.degraded}
 	}
 	for _, t := range tables {
 		for _, row := range t.Rows {
@@ -303,34 +325,117 @@ func (w *Store) AppendAdd(tables []*table.Table) error {
 	w.buf = e.buf
 	frame := appendFrame(nil, e.buf)
 
-	_, err := w.log.Write(frame)
-	if err == nil && !w.noSync {
-		err = w.log.Sync()
+	for attempt := 0; ; attempt++ {
+		err := w.writeFrame(frame)
+		if err == nil {
+			w.committed += int64(len(frame))
+			w.durableVals = newLen
+			w.frames++
+			return nil
+		}
+		// Cut the partial frame back off before anything else: appending
+		// over a dirty tail would make replay stop at the garbage and drop
+		// every frame after it. If even the repair fails, the log is not
+		// safely appendable — degrade now and let Probe fix the tail later.
+		if rerr := w.repair(); rerr != nil {
+			return w.degrade(fmt.Errorf("wal: log unrepairable after failed append (%v): %w", err, rerr))
+		}
+		if !IsTransient(err) || attempt >= w.retryN {
+			return w.degrade(err)
+		}
+		w.retried++
+		sleepBackoff(w.retryBase, attempt)
 	}
-	if err != nil {
-		return w.repair(err)
+}
+
+// writeFrame appends one framed record and syncs it — the unit the retry
+// loop repeats.
+func (w *Store) writeFrame(frame []byte) error {
+	if err := w.ensureLog(); err != nil {
+		return err
 	}
-	w.committed += int64(len(frame))
-	w.durableVals = newLen
-	w.frames++
+	if _, err := w.log.Write(frame); err != nil {
+		return err
+	}
+	if !w.noSync {
+		return w.log.Sync()
+	}
 	return nil
 }
 
-// repair cuts a failed append's partial frame back off the log. Values the
-// failed frame had declared stay interned above durableVals and are simply
-// re-declared by the next successful frame.
-func (w *Store) repair(cause error) error {
+// repair cuts a failed append's partial frame back off the log, restoring
+// it to the last acknowledged frame boundary. Values the failed frame had
+// declared stay interned above durableVals and are simply re-declared by
+// the next successful frame.
+func (w *Store) repair() error {
 	// The append handle may be positioned past the partial write; reopen at
 	// the repaired length instead of trusting it.
 	if w.log != nil {
 		w.log.Close()
 		w.log = nil
 	}
-	if terr := w.fs.Truncate(w.logName, w.committed); terr != nil {
-		w.broken = fmt.Errorf("wal: log unrepairable after failed append (%v): %w", cause, terr)
-		return w.broken
+	size, err := w.fs.Stat(w.logName)
+	if errors.Is(err, os.ErrNotExist) {
+		// The failed attempt never created the file; nothing to cut.
+		return nil
 	}
-	return cause
+	if err != nil {
+		// Unknown tail state: treating it as clean could let a retry append
+		// over a partial frame, so surface the failure instead.
+		return err
+	}
+	if size <= w.committed {
+		return nil
+	}
+	return w.fs.Truncate(w.logName, w.committed)
+}
+
+// degrade records the fault that made writes unavailable (the first one
+// sticks as the cause) and returns it wrapped to match ErrDegraded.
+func (w *Store) degrade(cause error) error {
+	if w.degraded == nil {
+		w.degraded = cause
+	}
+	return &degradedError{cause: w.degraded}
+}
+
+// Degraded reports why writes are unavailable — an ErrDegraded-matching
+// error wrapping the original fault — or nil when the store is healthy.
+func (w *Store) Degraded() error {
+	if w.degraded == nil {
+		return nil
+	}
+	return &degradedError{cause: w.degraded}
+}
+
+// Retried reports how many transient faults the retry loops absorbed, for
+// diagnostics and tests.
+func (w *Store) Retried() int64 { return w.retried }
+
+// Probe attempts to leave degraded mode: it repairs the log tail back to
+// the last acknowledged frame boundary, reopens the append handle, and
+// verifies it syncs. On success writes flow again; on failure the store
+// stays degraded and Probe reports the still-failing step. Healthy stores
+// return nil immediately, so callers can probe unconditionally.
+func (w *Store) Probe() error {
+	if w.degraded == nil {
+		return nil
+	}
+	if err := w.repair(); err != nil {
+		return &degradedError{cause: err}
+	}
+	if err := w.ensureLog(); err != nil {
+		return &degradedError{cause: err}
+	}
+	if !w.noSync {
+		if err := w.log.Sync(); err != nil {
+			w.log.Close()
+			w.log = nil
+			return &degradedError{cause: err}
+		}
+	}
+	w.degraded = nil
+	return nil
 }
 
 // ensureLog opens the append handle, creating the log file (and committing
@@ -362,15 +467,38 @@ func (w *Store) FramesSinceSnapshot() int { return w.frames }
 
 // Snapshot writes a new committed snapshot of the full session state —
 // tables is the complete accumulated table list, comps the index's exported
-// component closures — then rotates the log. On success the previous
-// snapshot and log are obsolete and deleted (best effort); on failure the
-// store continues on its current snapshot and log, and Snapshot can simply
-// be retried.
+// component closures — then rotates the log. Transient faults are retried
+// with backoff; each attempt restarts from a clean slate, which is safe
+// because nothing is committed until the CURRENT pointer flips (the last
+// step of an attempt). On success the previous snapshot and log are
+// obsolete and deleted (best effort); on failure the store continues on its
+// current snapshot and log — the log stays authoritative, so a failed
+// snapshot is never fatal and Snapshot can simply be retried later.
 func (w *Store) Snapshot(tables []*table.Table, comps []fd.CompExport) error {
-	if w.broken != nil {
-		return w.broken
+	if w.degraded != nil && w.Probe() != nil {
+		return &degradedError{cause: w.degraded}
 	}
 	newSeq := w.seq + 1
+	for attempt := 0; ; attempt++ {
+		err := w.prepareSnapshot(tables, comps, newSeq)
+		if err == nil {
+			break
+		}
+		if !IsTransient(err) || attempt >= w.retryN {
+			return err
+		}
+		w.retried++
+		sleepBackoff(w.retryBase, attempt)
+	}
+	w.finishRotate(newSeq)
+	return nil
+}
+
+// prepareSnapshot runs one snapshot attempt through its commit point, the
+// CURRENT rename. Every earlier step is uncommitted residue that the next
+// attempt's pre-clean (or the next open's orphan sweep) removes, so the
+// whole function is safe to retry.
+func (w *Store) prepareSnapshot(tables []*table.Table, comps []fd.CompExport, newSeq uint64) error {
 	final := filepath.Join(w.dir, snapDirName(newSeq))
 	tmp := final + ".tmp"
 	// Leftovers of a previous failed attempt at this sequence cannot be a
@@ -447,13 +575,31 @@ func (w *Store) Snapshot(tables []*table.Table, comps []fd.CompExport) error {
 	if err := w.fs.Rename(curTmp, filepath.Join(w.dir, currentFile)); err != nil {
 		return pathErr("rename", currentFile, err)
 	}
+	return nil
+}
+
+// finishRotate completes a committed snapshot: make the CURRENT flip
+// durable, switch appends to the new generation's fresh log, and drop the
+// superseded one. The directory sync is retried on its own; if it never
+// succeeds, the old snapshot and log are kept — a crash that rolled the
+// flip back must still find them intact — but in-memory state advances
+// regardless, because the flip is already visible to this process.
+func (w *Store) finishRotate(newSeq uint64) {
+	durable := w.noSync
 	if !w.noSync {
-		if err := w.fs.SyncDir(w.dir); err != nil {
-			return pathErr("syncdir", w.dir, err)
+		for attempt := 0; ; attempt++ {
+			err := w.fs.SyncDir(w.dir)
+			if err == nil {
+				durable = true
+				break
+			}
+			if !IsTransient(err) || attempt >= w.retryN {
+				break
+			}
+			w.retried++
+			sleepBackoff(w.retryBase, attempt)
 		}
 	}
-
-	// Committed: rotate to the new log and drop the superseded generation.
 	if w.log != nil {
 		w.log.Close()
 		w.log = nil
@@ -463,13 +609,15 @@ func (w *Store) Snapshot(tables []*table.Table, comps []fd.CompExport) error {
 	w.logName = filepath.Join(w.dir, logFileName(newSeq))
 	w.committed = 0
 	w.frames = 0
+	if !durable {
+		return
+	}
 	if exists(w.fs, oldLog) {
 		w.fs.Remove(oldLog)
 	}
 	if oldSeq > 0 {
 		removeTree(w.fs, filepath.Join(w.dir, snapDirName(oldSeq)))
 	}
-	return nil
 }
 
 // Close releases the log handle. It does not sync: every acknowledged

@@ -145,14 +145,17 @@ func TestStoreChecksumMismatchDropsTail(t *testing.T) {
 	}
 }
 
-// An injected write or sync failure surfaces to the caller, the partial
-// frame is repaired away, and the store keeps accepting appends; a reopen
-// sees exactly the acknowledged batches.
+// With retries disabled, an injected write or sync failure surfaces to the
+// caller, the partial frame is repaired away, and the store keeps accepting
+// appends; a reopen sees exactly the acknowledged batches.
 func TestStoreFailedAppendRepairs(t *testing.T) {
 	for _, mode := range []string{"write", "sync"} {
 		t.Run(mode, func(t *testing.T) {
 			fs := NewMemFS()
-			w, _ := mustOpen(t, fs, "sess")
+			w, _, err := Open("sess", Options{FS: fs, RetryAttempts: -1})
+			if err != nil {
+				t.Fatalf("open: %v", err)
+			}
 			var want []*table.Table
 			b0 := batch(0)
 			if err := w.AppendAdd(b0); err != nil {
